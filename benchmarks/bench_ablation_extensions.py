@@ -1,0 +1,78 @@
+"""Ablation — the extension algorithms vs. the paper's three.
+
+The paper's framework "is intended to support any concurrency control
+algorithm"; its survey cites the locking-vs-timestamp-ordering
+comparisons of [Gall82] and [Lin83]. This bench runs the full
+algorithm roster — the paper's three plus basic TO, multiversion TO,
+wound-wait and wait-die — on the Table 2 finite-resource configuration
+at a moderate and a high multiprogramming level, and checks the
+coarse expectations:
+
+* at moderate mpl all lock- or timestamp-based algorithms land in the
+  same throughput band (conflicts are manageable);
+* the deadlock-prevention variants (wound-wait, wait-die) behave like
+  blocking-with-extra-restarts: between blocking and immediate-restart;
+* MVTO's reads never block (block ratio identically zero).
+"""
+
+import pytest
+
+from repro.core import RunConfig, SimulationParameters, run_simulation
+
+RUN = RunConfig(batches=4, batch_time=20.0, warmup_batches=1, seed=42)
+ALGORITHMS = (
+    "blocking",
+    "immediate_restart",
+    "optimistic",
+    "basic_to",
+    "mvto",
+    "wound_wait",
+    "wait_die",
+)
+
+
+@pytest.fixture(scope="module")
+def roster_results():
+    results = {}
+    for mpl in (25, 100):
+        params = SimulationParameters.table2(mpl=mpl)
+        for algorithm in ALGORITHMS:
+            results[(algorithm, mpl)] = run_simulation(
+                params, algorithm, RUN
+            )
+    return results
+
+
+def test_extension_roster(benchmark, roster_results):
+    results = benchmark.pedantic(
+        lambda: roster_results, rounds=1, iterations=1
+    )
+    print()
+    for mpl in (25, 100):
+        print(f"  mpl={mpl}:")
+        for algorithm in ALGORITHMS:
+            result = results[(algorithm, mpl)]
+            print(
+                f"    {algorithm:18s} {result.throughput:6.2f} tps  "
+                f"restarts/commit={result.mean('restart_ratio'):5.2f}  "
+                f"blocks/commit={result.mean('block_ratio'):5.2f}"
+            )
+
+    # Everyone is productive at moderate contention, within a band.
+    moderate = [results[(a, 25)].throughput for a in ALGORITHMS]
+    assert min(moderate) > 0.6 * max(moderate)
+
+    # Blocking has the best throughput at both operating points.
+    for mpl in (25, 100):
+        best = max(results[(a, mpl)].throughput for a in ALGORITHMS)
+        assert results[("blocking", mpl)].throughput >= 0.93 * best
+
+    # The prevention variants sit between blocking and immediate-restart
+    # at high contention (they block like 2PL but also restart).
+    for variant in ("wound_wait", "wait_die"):
+        tps = results[(variant, 100)].throughput
+        assert tps >= 0.85 * results[("immediate_restart", 100)].throughput
+
+    # MVTO never blocks a read.
+    for mpl in (25, 100):
+        assert results[("mvto", mpl)].mean("block_ratio") == 0.0

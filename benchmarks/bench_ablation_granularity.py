@@ -1,0 +1,74 @@
+"""Ablation — concurrency-control granularity (the Ries knob).
+
+The paper locks at object (= page) granularity. Its model descends from
+Ries & Stonebraker's granularity studies [Ries77, Ries79], which asked:
+how many lockable granules should a database have? Too few, and
+unrelated transactions collide on the same granule (false sharing); so
+few lock-manager resources are rarely worth it. This bench sweeps the
+granule count on the Table 2 system and checks the classic shape:
+
+* throughput rises monotonically (within noise) with granule count;
+* a one-granule database serializes all writers (throughput collapses
+  toward the serial rate), and very coarse grains additionally thrash
+  on upgrade deadlocks (every reader of a granule upgrades the same
+  lock);
+* at mpl=25 with 8-page transactions even 100 granules still pays a
+  false-sharing penalty versus the paper's object-level locking —
+  Ries's "coarse is usually fine" conclusion assumed far fewer
+  concurrent transactions than this operating point runs.
+"""
+
+import pytest
+
+from repro.core import RunConfig, SimulationParameters, run_simulation
+
+RUN = RunConfig(batches=4, batch_time=20.0, warmup_batches=1, seed=42)
+GRANULES = (1, 10, 100, 1000)  # 1000 == object-level for db_size=1000
+
+
+@pytest.fixture(scope="module")
+def granularity_results():
+    results = {}
+    for granules in GRANULES:
+        params = SimulationParameters.table2(
+            mpl=25, lock_granules=granules
+        )
+        results[granules] = run_simulation(params, "blocking", RUN)
+    return results
+
+
+def test_granularity_ablation(benchmark, granularity_results):
+    results = benchmark.pedantic(
+        lambda: granularity_results, rounds=1, iterations=1
+    )
+    print()
+    for granules, result in results.items():
+        print(
+            f"  granules={granules:5d}: {result.throughput:5.2f} tps  "
+            f"blocks/commit={result.mean('block_ratio'):6.2f}  "
+            f"restarts/commit={result.mean('restart_ratio'):5.2f}"
+        )
+
+    throughputs = [results[g].throughput for g in GRANULES]
+    # Monotone improvement with finer granularity (within 5% noise).
+    for coarse, fine in zip(throughputs, throughputs[1:]):
+        assert fine >= coarse * 0.95
+
+    # One granule: writers serialize; a small fraction of fine grain.
+    assert throughputs[0] < 0.3 * throughputs[-1]
+
+    # Contention signals fall sharply once granules outnumber the
+    # transaction footprint (blocks and deadlock restarts both).
+    assert results[100].mean("block_ratio") < 0.5 * (
+        results[10].mean("block_ratio")
+    )
+    assert results[1000].mean("block_ratio") < 0.2 * (
+        results[100].mean("block_ratio")
+    )
+    assert results[1000].mean("restart_ratio") < 0.2 * (
+        results[100].mean("restart_ratio")
+    )
+
+    # Even 100 granules still pays a visible false-sharing penalty at
+    # this mpl: object-level locking is the right default here.
+    assert results[1000].throughput > 1.5 * results[100].throughput

@@ -1,0 +1,79 @@
+"""Ablation — restart-delay sensitivity for immediate-restart.
+
+The paper chose the *adaptive* delay "after performing a sensitivity
+analysis that showed us that the performance of immediate-restarts is
+sensitive to the restart delay time, particularly in the infinite
+resource case. Our experiments indicated that a delay of about one
+transaction time is best, and that throughput begins to drop off
+rapidly when the delay exceeds more than a few transaction times."
+
+This bench redoes that sensitivity analysis with fixed delays spanning
+four orders of magnitude around one transaction time, plus the adaptive
+policy, and checks the paper's claims:
+
+* a delay near one transaction time beats both a near-zero delay and a
+  very large delay;
+* very large delays collapse throughput;
+* the adaptive delay lands near the fixed optimum.
+"""
+
+import pytest
+
+from repro.core import RunConfig, SimulationParameters, run_simulation
+
+RUN = RunConfig(batches=4, batch_time=20.0, warmup_batches=1, seed=42)
+#: Infinite resources, a high multiprogramming level: the regime the
+#: paper says is most delay-sensitive.
+MPL = 100
+
+#: Mean response time at this operating point is a few seconds; one
+#: "transaction time" of pure service is ~0.5 s.
+FIXED_DELAYS = (0.05, 0.5, 2.0, 10.0, 60.0)
+
+
+def params_with_delay(delay):
+    return SimulationParameters.table2(
+        num_cpus=None,
+        num_disks=None,
+        mpl=MPL,
+        restart_delay_mode="fixed_all",
+        restart_delay=delay,
+    )
+
+
+@pytest.fixture(scope="module")
+def sensitivity():
+    results = {}
+    for delay in FIXED_DELAYS:
+        result = run_simulation(
+            params_with_delay(delay), "immediate_restart", RUN
+        )
+        results[delay] = result.throughput
+    adaptive = run_simulation(
+        SimulationParameters.table2(num_cpus=None, num_disks=None, mpl=MPL),
+        "immediate_restart",
+        RUN,
+    )
+    results["adaptive"] = adaptive.throughput
+    return results
+
+
+def test_restart_delay_sensitivity(benchmark, sensitivity):
+    results = benchmark.pedantic(
+        lambda: sensitivity, rounds=1, iterations=1
+    )
+    print()
+    for delay, tps in results.items():
+        print(f"  restart_delay={delay!s:>9}: {tps:7.2f} tps")
+
+    fixed = {d: results[d] for d in FIXED_DELAYS}
+    best_delay = max(fixed, key=fixed.get)
+    # The optimum sits in the around-one-transaction-time region, not at
+    # the extremes.
+    assert best_delay not in (FIXED_DELAYS[0], FIXED_DELAYS[-1]), (
+        f"optimum delay should be interior, got {best_delay}"
+    )
+    # Very large delays drop off hard.
+    assert fixed[FIXED_DELAYS[-1]] < 0.5 * fixed[best_delay]
+    # The adaptive policy is competitive with the fixed optimum.
+    assert results["adaptive"] > 0.7 * fixed[best_delay]

@@ -1,0 +1,57 @@
+"""Ablation — lock-upgrade policy for the Blocking algorithm.
+
+The paper's locking "upgrades" read locks to write locks at write time,
+which creates the classic upgrade-upgrade deadlock (two readers of one
+object both upgrading). The alternative — take the exclusive lock at
+the FIRST read of any object the transaction will later write — removes
+that deadlock class entirely at the price of longer exclusive holds.
+
+Expected shape: immediate-exclusive suffers (weakly) fewer deadlock
+restarts; neither policy collapses relative to the other; the committed
+histories of both stay serializable (covered by the test suite).
+"""
+
+import pytest
+
+from repro.cc.blocking import IMMEDIATE_EXCLUSIVE, BlockingCC
+from repro.core import RunConfig, SimulationParameters, run_simulation
+
+RUN = RunConfig(batches=4, batch_time=20.0, warmup_batches=1, seed=42)
+#: Write-heavy to make upgrades (and their deadlocks) frequent.
+PARAMS = SimulationParameters.table2(mpl=100, write_prob=0.5)
+
+
+@pytest.fixture(scope="module")
+def policy_results():
+    return {
+        "upgrade": run_simulation(PARAMS, "blocking", RUN),
+        "immediate_exclusive": run_simulation(
+            PARAMS,
+            BlockingCC(write_lock_policy=IMMEDIATE_EXCLUSIVE),
+            RUN,
+        ),
+    }
+
+
+def test_upgrade_policy_ablation(benchmark, policy_results):
+    results = benchmark.pedantic(
+        lambda: policy_results, rounds=1, iterations=1
+    )
+    print()
+    for label, result in results.items():
+        print(
+            f"  {label:20s}: {result.throughput:5.2f} tps  "
+            f"restarts/commit={result.mean('restart_ratio'):5.3f}  "
+            f"blocks/commit={result.mean('block_ratio'):5.2f}"
+        )
+
+    upgrade = results["upgrade"]
+    immediate = results["immediate_exclusive"]
+    # Both policies stay productive and in one band.
+    assert immediate.throughput > 0.5 * upgrade.throughput
+    assert upgrade.throughput > 0.5 * immediate.throughput
+    # Immediate exclusive lowers the deadlock-restart rate (upgrade
+    # deadlocks are the dominant class in a write-heavy mix).
+    assert immediate.mean("restart_ratio") <= (
+        upgrade.mean("restart_ratio")
+    )

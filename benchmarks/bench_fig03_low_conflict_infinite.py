@@ -1,0 +1,33 @@
+"""Figure 3 — Throughput, low conflict (db=10,000), infinite resources.
+
+Paper claim: with rare conflicts "it makes little difference which
+concurrency control algorithm is used"; the three curves track each
+other closely, rising with the multiprogramming level.
+"""
+
+from benchmarks.conftest import build_figure, value_at
+
+
+def test_fig03_low_conflict_infinite(benchmark, figure_builder, results_dir):
+    data = build_figure(benchmark, figure_builder, 3, results_dir)
+    algorithms = data.algorithms()
+    assert set(algorithms) == {
+        "blocking", "immediate_restart", "optimistic"
+    }
+    mpls = [mpl for mpl, _ in data.values("throughput", "blocking")]
+    # All three algorithms close at every multiprogramming level.
+    for mpl in mpls:
+        values = [
+            value_at(data, "throughput", algorithm, mpl)
+            for algorithm in algorithms
+        ]
+        assert max(values) <= 1.30 * min(values), (
+            f"algorithms should be close under low conflict at mpl={mpl}: "
+            f"{dict(zip(algorithms, values))}"
+        )
+    # Throughput rises with mpl (no thrashing in sight at low conflict).
+    for algorithm in algorithms:
+        series = data.values("throughput", algorithm)
+        assert series[-1][1] > 2.0 * series[0][1], (
+            f"{algorithm} should scale with mpl under infinite resources"
+        )

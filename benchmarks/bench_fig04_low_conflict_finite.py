@@ -1,0 +1,31 @@
+"""Figure 4 — Throughput, low conflict (db=10,000), 1 CPU / 2 disks.
+
+Paper claim: the three algorithms stay close under low conflict even
+with finite resources ("blocking outperformed the other two algorithms
+by a small amount"), and throughput saturates at the resource ceiling.
+"""
+
+from benchmarks.conftest import build_figure, peak_value, value_at
+
+
+def test_fig04_low_conflict_finite(benchmark, figure_builder, results_dir):
+    data = build_figure(benchmark, figure_builder, 4, results_dir)
+    algorithms = data.algorithms()
+    mpls = [mpl for mpl, _ in data.values("throughput", "blocking")]
+    for mpl in mpls:
+        values = [
+            value_at(data, "throughput", algorithm, mpl)
+            for algorithm in algorithms
+        ]
+        assert max(values) <= 1.35 * min(values), (
+            f"algorithms should be close under low conflict at mpl={mpl}"
+        )
+    # Blocking at least matches the restart strategies at its peak.
+    assert peak_value(data, "throughput", "blocking") >= 0.95 * max(
+        peak_value(data, "throughput", algorithm)
+        for algorithm in algorithms
+    )
+    # The disk ceiling for 8-page read sets is ~2/(8*0.035) = 7.1 tps;
+    # with write traffic it is lower. Nobody can exceed it.
+    for algorithm in algorithms:
+        assert peak_value(data, "throughput", algorithm) < 7.2

@@ -1,0 +1,44 @@
+"""Figure 5 — Throughput under infinite resources (Experiment 2).
+
+Paper claims encoded below:
+* the optimistic algorithm's throughput keeps increasing with the
+  multiprogramming level — restarted transactions are simply replaced
+  by new ones, so the effective mpl stays high;
+* blocking starts *thrashing* beyond a knee: throughput at mpl=200 falls
+  well below its peak;
+* immediate-restart reaches a plateau — the adaptive restart delay
+  caps the actual number of active transactions.
+"""
+
+from benchmarks.conftest import build_figure, peak_value, value_at
+
+
+def test_fig05_throughput_infinite(benchmark, figure_builder, results_dir):
+    data = build_figure(benchmark, figure_builder, 5, results_dir)
+
+    # Optimistic dominates at the top end and does not thrash.
+    top = max(mpl for mpl, _ in data.values("throughput", "optimistic"))
+    optimistic_top = value_at(data, "throughput", "optimistic", top)
+    assert optimistic_top >= 0.90 * peak_value(
+        data, "throughput", "optimistic"
+    ), "optimistic should keep climbing, not thrash"
+    assert optimistic_top > 2.0 * value_at(
+        data, "throughput", "blocking", top
+    ), "optimistic should dominate blocking at very high mpl"
+
+    # Blocking thrashes: mpl=200 throughput far below its peak.
+    blocking_peak_mpl, blocking_peak = data.peak("throughput", "blocking")
+    assert blocking_peak_mpl < top
+    assert value_at(data, "throughput", "blocking", top) < (
+        0.6 * blocking_peak
+    ), "blocking should thrash beyond its knee under infinite resources"
+
+    # Immediate-restart plateaus: the last three points are flat.
+    series = data.values("throughput", "immediate_restart")
+    tail = [value for _, value in series[-3:]]
+    assert max(tail) <= 1.15 * min(tail), (
+        f"immediate-restart should plateau, got tail {tail}"
+    )
+    # ... at a level between blocking's collapse and optimistic's climb.
+    assert tail[-1] > value_at(data, "throughput", "blocking", top)
+    assert tail[-1] < optimistic_top

@@ -1,0 +1,39 @@
+"""Figure 6 — Block and restart ratios under infinite resources.
+
+Paper claims encoded below:
+* blocking's thrashing is driven by the *block ratio* (blocked
+  transactions per commit), which grows sharply with mpl — not by its
+  restart (deadlock) ratio, which stays comparatively small;
+* the optimistic algorithm's restart ratio rises quickly with mpl —
+  but, per Figure 5, this does not stop its throughput from climbing;
+* the immediate-restart ratio flattens with its throughput plateau.
+"""
+
+from benchmarks.conftest import build_figure, max_mpl, value_at
+
+
+def test_fig06_conflict_ratios(benchmark, figure_builder, results_dir):
+    data = build_figure(benchmark, figure_builder, 6, results_dir)
+    top = max_mpl(data)
+
+    # Blocking: block ratio grows strongly with mpl...
+    low = value_at(data, "block_ratio", "blocking", 5)
+    high = value_at(data, "block_ratio", "blocking", top)
+    assert high > 5 * max(low, 0.01), (
+        f"block ratio should explode with mpl: {low} -> {high}"
+    )
+    # ... and dominates its own restart (deadlock) ratio at high mpl:
+    # thrashing comes from waiting, not from deadlock restarts.
+    assert high > value_at(data, "restart_ratio", "blocking", top), (
+        "blocking should thrash on blocks, not deadlock restarts"
+    )
+
+    # Optimistic restarts climb with mpl.
+    assert value_at(data, "restart_ratio", "optimistic", top) > (
+        3 * max(value_at(data, "restart_ratio", "optimistic", 5), 0.01)
+    )
+
+    # Only blocking ever blocks; restart strategies never wait.
+    for algorithm in ("immediate_restart", "optimistic"):
+        for mpl, value in data.values("block_ratio", algorithm):
+            assert value == 0.0, f"{algorithm} must never block"

@@ -1,0 +1,56 @@
+"""Figure 7 — Response time mean and standard deviation, infinite
+resources.
+
+Paper claims encoded below:
+* mean response times follow from the throughput results via the closed
+  queuing model (low throughput => high response time);
+* the standard deviation of response time is smaller for blocking than
+  for immediate-restart over most multiprogramming levels — the
+  immediate-restart algorithm's "response time variance is quite
+  significant", which matters to users.
+"""
+
+import pytest
+
+from benchmarks.conftest import build_figure, majority, value_at
+
+
+def test_fig07_response_infinite(benchmark, figure_builder, results_dir):
+    data = build_figure(benchmark, figure_builder, 7, results_dir)
+    mpls = [mpl for mpl, _ in data.values("response_time", "blocking")]
+
+    # Immediate-restart shows larger response-time variability than
+    # blocking over most of the swept range.
+    pairs = [
+        (
+            value_at(data, "response_time_std", "immediate_restart", mpl),
+            value_at(data, "response_time_std", "blocking", mpl),
+        )
+        for mpl in mpls
+    ]
+    assert majority(pairs), (
+        "immediate-restart should have the larger response-time std dev "
+        f"over most mpls: {pairs}"
+    )
+
+    # Closed-model sanity: at the top mpl, the slower algorithm
+    # (blocking, which thrashes) has the larger mean response time.
+    top = mpls[-1]
+    assert value_at(data, "response_time", "blocking", top) > value_at(
+        data, "response_time", "optimistic", top
+    )
+
+    # "The response times are basically what one would expect, given
+    # the throughput results plus the fact that we have employed a
+    # closed queuing model" — i.e. the interactive response-time law
+    # R = N/X - Z with N=200 terminals and Z=1 s of external thinking.
+    N, Z = 200, 1.0
+    for algorithm in data.algorithms():
+        for mpl in mpls:
+            throughput = data.sweep.result(algorithm, mpl).throughput
+            expected = N / throughput - Z
+            measured = value_at(data, "response_time", algorithm, mpl)
+            assert measured == pytest.approx(expected, rel=0.30), (
+                f"{algorithm}@mpl={mpl}: R={measured:.2f} but closed "
+                f"law predicts {expected:.2f}"
+            )

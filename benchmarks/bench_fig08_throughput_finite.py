@@ -1,0 +1,50 @@
+"""Figure 8 — Throughput with 1 CPU and 2 disks (Experiment 3).
+
+Paper claims encoded below:
+* the best global throughput belongs to blocking (paper peak: mpl=25);
+* the restart-oriented strategies peak earlier (mpl ~= 10) and decline
+  as restarts waste the bottleneck disks;
+* beyond its peak every algorithm's curve falls or flattens — nobody
+  scales to mpl=200 in a resource-limited system.
+
+Known reproduction deviation (documented in EXPERIMENTS.md): the paper
+found immediate-restart's mpl=200 throughput slightly above blocking's;
+in our reproduction blocking stays marginally ahead at mpl=200. The
+peak structure — the paper's main claim — reproduces.
+"""
+
+from benchmarks.conftest import build_figure, peak_value, value_at
+
+
+def test_fig08_throughput_finite(benchmark, figure_builder, results_dir):
+    data = build_figure(benchmark, figure_builder, 8, results_dir)
+
+    # Blocking owns the best global throughput.
+    blocking_peak_mpl, blocking_peak = data.peak("throughput", "blocking")
+    for algorithm in ("immediate_restart", "optimistic"):
+        assert blocking_peak > peak_value(data, "throughput", algorithm), (
+            f"blocking must beat {algorithm} at its peak"
+        )
+
+    # Blocking peaks at a moderate mpl (paper: 25).
+    assert 10 <= blocking_peak_mpl <= 50
+
+    # Restart strategies peak at low mpl (paper: 10) ...
+    for algorithm in ("immediate_restart", "optimistic"):
+        peak_mpl, _ = data.peak("throughput", algorithm)
+        assert peak_mpl <= 25, (
+            f"{algorithm} should peak early, peaked at {peak_mpl}"
+        )
+
+    # ... and decline substantially from peak to mpl=200.
+    top = max(mpl for mpl, _ in data.values("throughput", "blocking"))
+    for algorithm in ("immediate_restart", "optimistic"):
+        assert value_at(data, "throughput", algorithm, top) < (
+            0.85 * peak_value(data, "throughput", algorithm)
+        )
+
+    # Immediate-restart flattens at the top end (the restart delay caps
+    # the actual multiprogramming level).
+    series = data.values("throughput", "immediate_restart")
+    tail = [value for _, value in series[-3:]]
+    assert max(tail) <= 1.25 * min(tail)

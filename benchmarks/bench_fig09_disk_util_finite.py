@@ -1,0 +1,52 @@
+"""Figure 9 — Total and useful disk utilization, 1 CPU / 2 disks.
+
+Paper claims encoded below:
+* the disks are the bottleneck: at blocking's throughput peak they are
+  nearly saturated (paper: 97.2% total, 92.1% useful at mpl=25);
+* useful utilization never exceeds total utilization;
+* the restart strategies waste a growing slice of the disks as mpl
+  rises: their total-minus-useful gap at mpl=200 is much larger than
+  blocking's (blocking wastes little — it blocks instead of redoing
+  work).
+"""
+
+from benchmarks.conftest import build_figure, max_mpl, value_at
+
+
+def test_fig09_disk_util_finite(benchmark, figure_builder, results_dir):
+    data = build_figure(benchmark, figure_builder, 9, results_dir)
+    top = max_mpl(data)
+
+    # Useful <= total everywhere, for everyone.
+    for algorithm in data.algorithms():
+        for mpl, total in data.values("disk_util", algorithm):
+            useful = value_at(data, "disk_util_useful", algorithm, mpl)
+            assert useful <= total + 1e-9
+
+    # Disks nearly saturated at blocking's best operating point.
+    blocking_peak_mpl, _ = data.sweep.peak("throughput", "blocking")
+    total_at_peak = value_at(
+        data, "disk_util", "blocking", blocking_peak_mpl
+    )
+    useful_at_peak = value_at(
+        data, "disk_util_useful", "blocking", blocking_peak_mpl
+    )
+    assert total_at_peak > 0.90, (
+        f"disks should be the bottleneck: {total_at_peak:.2f}"
+    )
+    assert useful_at_peak > 0.80
+
+    # Waste comparison: restarts burn disk time. At moderate mpl the
+    # restart strategies waste several times blocking's share; at the
+    # very top blocking's own deadlock restarts grow too ("blocking and
+    # restarts increase at a much faster rate", paper Exp. 3), so the
+    # gap narrows but never inverts.
+    def waste(algorithm, mpl):
+        return (
+            value_at(data, "disk_util", algorithm, mpl)
+            - value_at(data, "disk_util_useful", algorithm, mpl)
+        )
+
+    assert waste("optimistic", 50) > 2 * waste("blocking", 50)
+    assert waste("immediate_restart", 50) > 2 * waste("blocking", 50)
+    assert waste("optimistic", top) > waste("blocking", top)

@@ -1,0 +1,49 @@
+"""Figure 11 — Adaptive restart delays added to ALL three algorithms
+(1 CPU / 2 disks).
+
+Paper claims encoded below:
+* giving blocking and optimistic the same adaptive restart delay that
+  immediate-restart uses arrests their thrashing at high mpl (the delay
+  acts as a crude multiprogramming-level limiter);
+* blocking emerges as the clear winner;
+* the optimistic algorithm becomes comparable to immediate-restart.
+
+This bench compares against the Figure 8 sweep (no delays), which the
+shared builder has already cached — the "thrashing arrested" claim is a
+*relative* claim between the two figures.
+"""
+
+from benchmarks.conftest import build_figure, peak_value, value_at
+
+
+def test_fig11_adaptive_delay(benchmark, figure_builder, results_dir):
+    data = build_figure(benchmark, figure_builder, 11, results_dir)
+    baseline = figure_builder.figure(8)  # cached sweep, no delays
+    top = max(mpl for mpl, _ in data.values("throughput", "blocking"))
+
+    # Blocking is the clear winner at its peak.
+    blocking_peak = peak_value(data, "throughput", "blocking")
+    for algorithm in ("immediate_restart", "optimistic"):
+        assert blocking_peak > 1.05 * peak_value(
+            data, "throughput", algorithm
+        )
+
+    # Optimistic becomes comparable to immediate-restart (within 25%
+    # at the top of the curve).
+    optimistic_top = value_at(data, "throughput", "optimistic", top)
+    restart_top = value_at(data, "throughput", "immediate_restart", top)
+    assert optimistic_top > 0.75 * restart_top
+
+    # Thrashing arrested: optimistic's high-mpl throughput with the
+    # delay is no worse than without it (the paper's upper-end rescue).
+    assert optimistic_top >= 0.95 * value_at(
+        baseline, "throughput", "optimistic", top
+    )
+
+    # And the delayed optimistic holds a larger fraction of its own peak
+    # than the undelayed one does (the curve flattens instead of diving).
+    def retention(figure_data):
+        peak = peak_value(figure_data, "throughput", "optimistic")
+        return value_at(figure_data, "throughput", "optimistic", top) / peak
+
+    assert retention(data) >= retention(baseline) * 0.95

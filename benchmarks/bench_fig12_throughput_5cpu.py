@@ -1,0 +1,35 @@
+"""Figure 12 — Throughput with 5 CPUs / 10 disks (Experiment 4).
+
+Paper claims encoded below:
+* the behavior is "fairly similar" to the 1 CPU / 2 disk case:
+  blocking again provides the highest overall throughput;
+* for large mpls the immediate-restart strategy beats blocking, but its
+  plateau stays below blocking's peak.
+"""
+
+from benchmarks.conftest import build_figure, peak_value, value_at
+
+
+def test_fig12_throughput_5cpu(benchmark, figure_builder, results_dir):
+    data = build_figure(benchmark, figure_builder, 12, results_dir)
+    top = max(mpl for mpl, _ in data.values("throughput", "blocking"))
+
+    # Blocking still has the best global peak.
+    blocking_peak = peak_value(data, "throughput", "blocking")
+    for algorithm in ("immediate_restart", "optimistic"):
+        assert blocking_peak >= peak_value(data, "throughput", algorithm)
+
+    # Immediate-restart's plateau beats blocking at the very top end
+    # (blocking thrashes; the restart delay caps IR's actual mpl) ...
+    assert value_at(data, "throughput", "immediate_restart", top) > (
+        value_at(data, "throughput", "blocking", top)
+    )
+    # ... but never beats blocking's best point.
+    assert blocking_peak > value_at(
+        data, "throughput", "immediate_restart", top
+    )
+
+    # More resources, more throughput: everyone's peak beats the
+    # 1 CPU / 2 disk ceiling of ~7.1 tps.
+    for algorithm in data.algorithms():
+        assert peak_value(data, "throughput", algorithm) > 7.2

@@ -1,0 +1,38 @@
+"""Figure 14 — Throughput with 25 CPUs / 50 disks (Experiment 4).
+
+Paper claims encoded below:
+* with this many resources the system "begins to behave somewhat like
+  it has infinite resources": the optimistic algorithm's maximum
+  throughput edges past blocking's ("although not by very much");
+* blocking still thrashes at high mpl (utilization falls as waiting
+  rises), while optimistic holds its throughput near the top.
+
+This is the paper's crossover point between the finite-resource and
+infinite-resource regimes.
+"""
+
+from benchmarks.conftest import build_figure, peak_value, value_at
+
+
+def test_fig14_throughput_25cpu(benchmark, figure_builder, results_dir):
+    data = build_figure(benchmark, figure_builder, 14, results_dir)
+    top = max(mpl for mpl, _ in data.values("throughput", "blocking"))
+
+    # The crossover: optimistic's best at least matches blocking's best.
+    optimistic_peak = peak_value(data, "throughput", "optimistic")
+    blocking_peak = peak_value(data, "throughput", "blocking")
+    assert optimistic_peak >= 0.97 * blocking_peak, (
+        f"optimistic ({optimistic_peak:.2f}) should edge past blocking "
+        f"({blocking_peak:.2f}) at 25 CPUs / 50 disks"
+    )
+
+    # Optimistic clearly dominates at the very high end, where blocking
+    # has thrashed.
+    assert value_at(data, "throughput", "optimistic", top) > 1.5 * (
+        value_at(data, "throughput", "blocking", top)
+    )
+
+    # Blocking still thrashes: big drop from its peak to mpl=200.
+    assert value_at(data, "throughput", "blocking", top) < (
+        0.7 * blocking_peak
+    )

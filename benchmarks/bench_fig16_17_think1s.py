@@ -1,0 +1,39 @@
+"""Figures 16 & 17 — Interactive workload, 1 second internal think time
+(1 CPU / 2 disks; external think raised to 3 s).
+
+Paper claims encoded below:
+* at only 1 second of internal thinking, the resources are still
+  effectively scarce and wasted restarts still hurt: "blocking performs
+  better" (Figure 16);
+* utilizations (Figure 17): useful <= total for everyone, and the
+  restart strategies waste more of the disks than blocking does.
+"""
+
+from benchmarks.conftest import build_figure, max_mpl, peak_value, value_at
+
+
+def test_fig16_throughput_think1s(benchmark, think_builder, results_dir):
+    data = build_figure(benchmark, think_builder, 16, results_dir)
+    # Blocking still wins at 1 s of internal thinking.
+    blocking_peak = peak_value(data, "throughput", "blocking")
+    assert blocking_peak >= peak_value(data, "throughput", "optimistic")
+    assert blocking_peak >= peak_value(
+        data, "throughput", "immediate_restart"
+    )
+
+
+def test_fig17_disk_util_think1s(benchmark, think_builder, results_dir):
+    data = build_figure(benchmark, think_builder, 17, results_dir)
+    top = max_mpl(data)
+    for algorithm in data.algorithms():
+        for mpl, total in data.values("disk_util", algorithm):
+            useful = value_at(data, "disk_util_useful", algorithm, mpl)
+            assert useful <= total + 1e-9
+
+    def waste(algorithm):
+        return (
+            value_at(data, "disk_util", algorithm, top)
+            - value_at(data, "disk_util_useful", algorithm, top)
+        )
+
+    assert waste("optimistic") > waste("blocking")

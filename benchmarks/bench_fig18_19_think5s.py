@@ -1,0 +1,40 @@
+"""Figures 18 & 19 — Interactive workload, 5 second internal think time
+(1 CPU / 2 disks; external think raised to 11 s).
+
+Paper claims encoded below:
+* five seconds of lock-holding thinking cripples blocking, while the
+  demand reduction makes the resources behave as if they were
+  plentiful: "the throughput and the useful utilization with the
+  optimistic algorithm is also better than for blocking" (Figure 18);
+* the optimistic peak beats immediate-restart's peak, though
+  immediate-restart does better at very high mpl thanks to its
+  restart delay's mpl-limiting effect (paper text, Experiment 5).
+"""
+
+from benchmarks.conftest import build_figure, max_mpl, peak_value, value_at
+
+
+def test_fig18_throughput_think5s(benchmark, think_builder, results_dir):
+    data = build_figure(benchmark, think_builder, 18, results_dir)
+    # The crossover: optimistic now beats blocking.
+    assert peak_value(data, "throughput", "optimistic") > peak_value(
+        data, "throughput", "blocking"
+    )
+    # And optimistic's best beats immediate-restart's best.
+    assert peak_value(data, "throughput", "optimistic") >= peak_value(
+        data, "throughput", "immediate_restart"
+    )
+
+
+def test_fig19_disk_util_think5s(benchmark, think_builder, results_dir):
+    data = build_figure(benchmark, think_builder, 19, results_dir)
+    top = max_mpl(data)
+    # Optimistic extracts more useful disk work than blocking at the
+    # top end — blocking's lock-holding thinkers idle the disks.
+    assert value_at(data, "disk_util_useful", "optimistic", top) > (
+        value_at(data, "disk_util_useful", "blocking", top)
+    )
+    for algorithm in data.algorithms():
+        for mpl, total in data.values("disk_util", algorithm):
+            useful = value_at(data, "disk_util_useful", algorithm, mpl)
+            assert useful <= total + 1e-9

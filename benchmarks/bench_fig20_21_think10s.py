@@ -1,0 +1,39 @@
+"""Figures 20 & 21 — Interactive workload, 10 second internal think time
+(1 CPU / 2 disks; external think raised to 21 s).
+
+Paper claims encoded below:
+* at 10 seconds of thinking the finite-resource system fully behaves
+  like an infinite-resource one: the optimistic algorithm's best
+  throughput is "considerably higher" than blocking's (Figure 20);
+* its useful utilization is "much higher" than blocking's (Figure 21).
+"""
+
+from benchmarks.conftest import build_figure, max_mpl, peak_value, value_at
+
+
+def test_fig20_throughput_think10s(benchmark, think_builder, results_dir):
+    data = build_figure(benchmark, think_builder, 20, results_dir)
+    optimistic_peak = peak_value(data, "throughput", "optimistic")
+    blocking_peak = peak_value(data, "throughput", "blocking")
+    # Considerably higher, not marginal.
+    assert optimistic_peak > 1.15 * blocking_peak, (
+        f"optimistic ({optimistic_peak:.2f}) should beat blocking "
+        f"({blocking_peak:.2f}) clearly at 10 s think time"
+    )
+    assert optimistic_peak >= peak_value(
+        data, "throughput", "immediate_restart"
+    )
+
+
+def test_fig21_disk_util_think10s(benchmark, think_builder, results_dir):
+    data = build_figure(benchmark, think_builder, 21, results_dir)
+    top = max_mpl(data)
+    # Optimistic's useful utilization clearly above blocking's at the
+    # top end.
+    assert value_at(data, "disk_util_useful", "optimistic", top) > 1.15 * (
+        value_at(data, "disk_util_useful", "blocking", top)
+    )
+    for algorithm in data.algorithms():
+        for mpl, total in data.values("disk_util", algorithm):
+            useful = value_at(data, "disk_util_useful", algorithm, mpl)
+            assert useful <= total + 1e-9

@@ -1,0 +1,36 @@
+"""Table 2 — the paper's base parameter settings, plus simulator micro-cost.
+
+Verifies that the preset the whole evaluation is built on matches the
+paper's Table 2 exactly, and benchmarks the raw cost of simulating the
+base configuration (events per wall-second is the simulator's currency).
+"""
+
+from repro.core import PAPER_MPLS, SimulationParameters, SystemModel
+
+
+def test_table2_settings_benchmark(benchmark):
+    params = benchmark(SimulationParameters.table2)
+    assert params.db_size == 1000
+    assert (params.min_size, params.max_size) == (4, 12)
+    assert params.tran_size == 8.0
+    assert params.write_prob == 0.25
+    assert params.num_terms == 200
+    assert params.ext_think_time == 1.0
+    assert params.obj_io == 0.035
+    assert params.obj_cpu == 0.015
+    assert (params.num_cpus, params.num_disks) == (1, 2)
+    assert PAPER_MPLS == (5, 10, 25, 50, 75, 100, 200)
+
+
+def test_base_configuration_simulation_cost(benchmark):
+    """Wall cost of 10 simulated seconds of the Table 2 base system."""
+
+    def simulate():
+        model = SystemModel(
+            SimulationParameters.table2(mpl=25), "blocking", seed=1
+        )
+        model.run_until(10.0)
+        return model.metrics.commits.total
+
+    commits = benchmark(simulate)
+    assert commits > 0

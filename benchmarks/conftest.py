@@ -1,0 +1,103 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every ``bench_figNN_*.py`` regenerates one (or one pair) of the paper's
+figures at laptop-scale statistics, prints the same series the paper
+plots, saves the table to ``benchmarks/results/``, and asserts the
+figure's qualitative *shape* (who wins, where the peaks and crossovers
+are). Absolute numbers are not compared — our substrate is a
+reimplementation and the batch lengths are scaled down — but each shape
+assertion encodes the claim the paper makes with that figure.
+
+Sweeps are shared across figures of the same experiment (Figures 5, 6
+and 7 simulate once), and across the whole pytest session.
+"""
+
+import os
+
+import pytest
+
+from repro.core import RunConfig
+from repro.experiments import FigureBuilder, sweep_report
+
+#: Statistics profile for the standard experiments: smaller than the
+#: paper's 20-large-batch runs, big enough for stable orderings.
+BENCH_RUN = RunConfig(batches=4, batch_time=20.0, warmup_batches=1, seed=42)
+
+#: Interactive workloads (Experiment 5) have multi-second think times and
+#: response times, so they need longer batches to settle.
+THINK_RUN = RunConfig(batches=3, batch_time=60.0, warmup_batches=1, seed=42)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def figure_builder():
+    """Shared builder for Experiments 1-4 (one sweep per experiment)."""
+    return FigureBuilder(run=BENCH_RUN)
+
+
+@pytest.fixture(scope="session")
+def think_builder():
+    """Shared builder for Experiment 5's interactive workloads."""
+    return FigureBuilder(run=THINK_RUN)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_figure(data, results_dir):
+    """Persist a figure's table + series to benchmarks/results/."""
+    path = os.path.join(results_dir, f"figure{data.figure:02d}.txt")
+    with open(path, "w") as f:
+        f.write(sweep_report(data.sweep, with_plots=True))
+        f.write("\n\n")
+        f.write(data.describe())
+        f.write("\n")
+    return path
+
+
+def build_figure(benchmark, builder, number, results_dir):
+    """Benchmark-wrapped figure build (one round; sweeps are cached).
+
+    Every point of the sweep is additionally checked against the
+    operational-analysis bounds (`repro.analysis.bounds`) — a universal
+    oracle: no concurrency control can beat the queueing theory.
+    """
+    data = benchmark.pedantic(
+        lambda: builder.figure(number), rounds=1, iterations=1
+    )
+    from repro.analysis import check_result_against_bounds
+
+    for result in data.sweep.results.values():
+        check_result_against_bounds(result)
+    save_figure(data, results_dir)
+    print()
+    print(data.describe())
+    return data
+
+
+# ---- shape-assertion helpers -------------------------------------------
+
+
+def peak_value(data, metric, algorithm):
+    """Maximum of a series over the swept mpls."""
+    return data.peak(metric, algorithm)[1]
+
+
+def value_at(data, metric, algorithm, mpl):
+    return dict(data.values(metric, algorithm))[mpl]
+
+
+def majority(pairs):
+    """True if the first element wins in more than half the pairs."""
+    wins = sum(1 for a, b in pairs if a > b)
+    return wins > len(pairs) / 2
+
+
+def max_mpl(data):
+    metric = next(iter(data.series))
+    algorithm = data.algorithms()[0]
+    return max(mpl for mpl, _ in data.values(metric, algorithm))

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Shoot-out: every registered concurrency-control algorithm on one workload.
+
+Runs the paper's three strategies plus every extension (basic and
+multiversion timestamp ordering, wound-wait, wait-die, static locking,
+and the contention-free no-op baseline) on the Table 2 finite-resource system
+at low and high multiprogramming levels, and prints a comparison
+matrix. The no-op row is the data-contention-free ceiling: the gap
+between it and each algorithm is the price of that algorithm's
+concurrency control.
+
+Run:  python examples/algorithm_shootout.py
+"""
+
+from repro import RunConfig, SimulationParameters, run_simulation
+from repro.cc import algorithm_names
+
+MPLS = (10, 50, 200)
+RUN = RunConfig(batches=5, batch_time=20.0, warmup_batches=1, seed=13)
+
+
+def main():
+    print(f"{'algorithm':20s}" + "".join(
+        f"   mpl={mpl:<4d} " for mpl in MPLS
+    ) + "  (throughput tps / restarts per commit)")
+    print("-" * (20 + 12 * len(MPLS) + 45))
+    for algorithm in algorithm_names():
+        cells = []
+        for mpl in MPLS:
+            params = SimulationParameters.table2(mpl=mpl)
+            result = run_simulation(params, algorithm, RUN)
+            cells.append(
+                f"{result.throughput:5.2f}/{result.mean('restart_ratio'):4.2f}"
+            )
+        print(f"{algorithm:20s}   " + "   ".join(cells))
+    print()
+    print("Reading the matrix: blocking holds its throughput as mpl")
+    print("rises; the restart strategies peak early and decay; noop is")
+    print("the no-contention ceiling (it is NOT a correct algorithm).")
+
+
+if __name__ == "__main__":
+    main()

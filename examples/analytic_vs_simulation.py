@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Analytical model vs. simulator: measuring the cost of contention.
+
+The paper's literature split simulation studies from analytical ones.
+This library contains both: the discrete-event simulator and an exact
+Mean-Value Analysis solver for the same closed network. For the
+contention-free baseline the two must agree — two independent
+implementations cross-validating each other. For a *real* concurrency
+control algorithm, the gap between the MVA prediction and the measured
+throughput is precisely the price of data contention (blocking, waits,
+wasted restarts) at that operating point.
+
+Run:  python examples/analytic_vs_simulation.py
+"""
+
+from repro import RunConfig, SimulationParameters, run_simulation
+from repro.analytic import mva_prediction
+
+RUN = RunConfig(batches=5, batch_time=20.0, warmup_batches=1, seed=21)
+POPULATIONS = (10, 25, 50, 100, 200)
+
+
+def main():
+    print("Table 2 system (1 CPU / 2 disks). MVA prediction vs simulation")
+    print(f"{'N users':>8s}{'MVA':>9s}{'noop sim':>10s}"
+          f"{'blocking':>10s}{'contention cost':>17s}")
+    print("-" * 54)
+    for population in POPULATIONS:
+        params = SimulationParameters.table2(
+            num_terms=population, mpl=population
+        )
+        predicted = mva_prediction(params).throughput
+        noop = run_simulation(
+            params, "noop", RUN
+        ).throughput
+        blocking = run_simulation(params, "blocking", RUN).throughput
+        cost = (1.0 - blocking / predicted) * 100.0
+        print(f"{population:8d}{predicted:8.2f}t{noop:9.2f}t"
+              f"{blocking:9.2f}t{cost:15.1f}%")
+    print()
+    prediction = mva_prediction(SimulationParameters.table2(mpl=200))
+    print(f"MVA says the bottleneck is '{prediction.bottleneck()}' — "
+          "the same disks the simulator saturates in Figure 9.")
+    print("noop tracks the analytical curve (the two models validate")
+    print("each other); blocking's shortfall is pure data contention,")
+    print("growing with the user population exactly as the paper says.")
+
+
+if __name__ == "__main__":
+    main()

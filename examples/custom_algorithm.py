@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Plugging a custom concurrency-control algorithm into the framework.
+
+The paper's simulator "is intended to support any concurrency control
+algorithm"; this library keeps that property through the
+ConcurrencyControl interface. This example implements a hybrid the
+paper does not study — **reader-patient / writer-impatient locking**:
+
+* read requests behave like the Blocking algorithm (conflicts wait);
+* write requests (lock upgrades) never wait: a conflicted writer is
+  restarted after an adaptive delay, like Immediate-Restart.
+
+Because only readers ever wait, and the transactions they wait for
+(exclusive holders) never wait themselves, waits-for chains have depth
+one — the hybrid is deadlock-free *by construction* and needs no
+waits-for graph or detector.
+
+The algorithm is registered under a new name, run through the standard
+harness next to the built-ins, and its committed histories are proven
+serializable with the framework's checker.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+from repro import RunConfig, SimulationParameters, run_simulation
+from repro.analysis import check_serializability
+from repro.cc import (
+    DELAY_ADAPTIVE,
+    INSTALL_AT_FINALIZE,
+    ConcurrencyControl,
+    LockManager,
+    LockMode,
+    REASON_LOCK_CONFLICT,
+    RestartTransaction,
+    register_algorithm,
+)
+from repro.core import SystemModel
+
+
+@register_algorithm
+class PatientReaderCC(ConcurrencyControl):
+    """2PL for reads, no-wait restarts for writes; deadlock-free."""
+
+    name = "patient_reader"
+    default_restart_delay = DELAY_ADAPTIVE
+    install_at = INSTALL_AT_FINALIZE
+
+    def __init__(self):
+        super().__init__()
+        self.locks = None
+
+    def attach(self, env, hooks=None):
+        super().attach(env, hooks)
+        self.locks = LockManager(env)
+        return self
+
+    def read_request(self, tx, obj):
+        result = self.locks.acquire(tx, obj, LockMode.SHARED, wait=True)
+        if result.granted:
+            return None
+        self.hooks.count_block(tx)
+        tx.lock_wait_event = result.event
+        return result.event
+
+    def write_request(self, tx, obj):
+        result = self.locks.acquire(
+            tx, obj, LockMode.EXCLUSIVE, wait=False
+        )
+        if not result.granted:
+            raise RestartTransaction(
+                REASON_LOCK_CONFLICT, f"impatient writer lost {obj}"
+            )
+        return None
+
+    def finalize_commit(self, tx):
+        tx.lock_wait_event = None
+        self.locks.release_all(tx)
+
+    def abort(self, tx):
+        tx.lock_wait_event = None
+        self.locks.release_all(tx)
+
+
+def main():
+    params = SimulationParameters.table2(mpl=50)
+    run = RunConfig(batches=5, batch_time=20.0, warmup_batches=1, seed=3)
+
+    print("Custom hybrid vs the paper's three (Table 2, mpl=50):")
+    for algorithm in ("blocking", "immediate_restart", "optimistic",
+                      "patient_reader"):
+        result = run_simulation(params, algorithm, run)
+        print("  " + result.describe())
+
+    # The framework's verification tools work on custom algorithms too:
+    # prove a high-contention history is serializable.
+    hot = SimulationParameters(
+        db_size=50, min_size=2, max_size=6, write_prob=0.5,
+        num_terms=15, mpl=12, ext_think_time=0.1,
+        obj_io=0.01, obj_cpu=0.005, num_cpus=None, num_disks=None,
+    )
+    model = SystemModel(hot, "patient_reader", seed=9,
+                        record_history=True)
+    model.run_until(60.0)
+    report = check_serializability(
+        model.committed_history, model.store.final_state()
+    )
+    print()
+    print(f"serializability check on {report.transactions_checked} "
+          f"committed transactions: {report}")
+    assert report.ok
+
+
+if __name__ == "__main__":
+    main()

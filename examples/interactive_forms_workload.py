@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Interactive form-screen application: when does optimistic CC win?
+
+The paper's Experiment 5 was motivated by "a large body of form-screen
+applications where data is put up on the screen, the user may change
+some of the fields after staring at the screen for a while, and then
+the user types 'enter' causing the updates to be performed."
+
+This example models such an order-entry application on a small server
+(1 CPU, 2 disks): each transaction reads its pages, the clerk thinks
+over the form for a while (holding read locks, under 2PL!), then the
+updates go in. We sweep the clerk's think time and watch the preferred
+algorithm flip from blocking to optimistic — the paper's crossover.
+
+Run:  python examples/interactive_forms_workload.py
+"""
+
+from repro import RunConfig, SimulationParameters, run_simulation
+
+#: (internal think, external think) pairs; external think scales with
+#: internal think to hold the thinking/active ratio steady, as in the
+#: paper's Experiment 5.
+THINK_TIMES = [(0.0, 1.0), (1.0, 3.0), (5.0, 11.0), (10.0, 21.0)]
+ALGORITHMS = ("blocking", "immediate_restart", "optimistic")
+RUN = RunConfig(batches=4, batch_time=60.0, warmup_batches=1, seed=29)
+MPL = 50
+
+
+def main():
+    print("Order-entry workload on 1 CPU / 2 disks, mpl=50")
+    print(f"{'form think time':>16s}" + "".join(
+        f"{algorithm:>20s}" for algorithm in ALGORITHMS
+    ))
+    print("-" * (16 + 20 * len(ALGORITHMS)))
+    for internal, external in THINK_TIMES:
+        params = SimulationParameters.table2(
+            mpl=MPL,
+            int_think_time=internal,
+            ext_think_time=external,
+        )
+        row = []
+        winner, best = None, -1.0
+        for algorithm in ALGORITHMS:
+            result = run_simulation(params, algorithm, RUN)
+            row.append(f"{result.throughput:16.2f} tps")
+            if result.throughput > best:
+                winner, best = algorithm, result.throughput
+        print(f"{internal:14.0f} s" + "".join(row) + f"   <- {winner}")
+    print()
+    print("As clerks stare longer at their forms, locks are held longer")
+    print("and the machine idles: the system drifts into the paper's")
+    print("infinite-resource regime, where restarts are cheap and the")
+    print("optimistic algorithm overtakes two-phase locking.")
+
+
+if __name__ == "__main__":
+    main()

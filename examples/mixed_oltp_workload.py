@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""A mixed OLTP workload: why multiversioning won.
+
+The paper's workload is one class of medium transactions. Real systems
+mix tiny lookups, medium updates, and big read-only reports — and under
+two-phase locking a single long report's read locks stall every writer
+that touches its pages. Multiversion timestamp ordering serves readers
+from old versions instead: reads never block and never abort.
+
+This example runs the same three-class mix (90% lookups, 9% orders,
+1% long reports) through dynamic 2PL and MVTO and prints the per-class
+numbers. Watch the order-transaction latency under blocking versus
+MVTO — and the price MVTO pays instead (report restarts are zero too;
+its writers carry the conflict load).
+
+Run:  python examples/mixed_oltp_workload.py
+"""
+
+from repro import RunConfig, SimulationParameters, run_simulation
+from repro.core import TransactionClass
+
+MIX = (
+    TransactionClass("lookup", weight=90.0, min_size=1, max_size=2,
+                     write_prob=0.0),
+    TransactionClass("order", weight=9.0, min_size=4, max_size=10,
+                     write_prob=0.4),
+    TransactionClass("report", weight=1.0, min_size=50, max_size=80,
+                     write_prob=0.0),
+)
+
+RUN = RunConfig(batches=5, batch_time=30.0, warmup_batches=1, seed=23)
+
+
+def main():
+    params = SimulationParameters(
+        db_size=500,
+        num_terms=50,
+        mpl=25,
+        ext_think_time=0.5,
+        obj_io=0.010,
+        obj_cpu=0.004,
+        num_cpus=2,
+        num_disks=4,
+        workload_mix=MIX,
+    )
+    print("Three-class OLTP mix on 2 CPUs / 4 disks, mpl=25")
+    print(f"{'':10s}{'class':>10s}{'tps':>8s}{'resp':>9s}"
+          f"{'p-restart':>11s}")
+    for algorithm in ("blocking", "mvto"):
+        result = run_simulation(params, algorithm, RUN)
+        per_class = result.totals["per_class"]
+        print(f"{algorithm}:")
+        for name in ("lookup", "order", "report"):
+            stats = per_class[name]
+            print(f"{'':10s}{name:>10s}{stats['throughput']:8.2f}"
+                  f"{stats['response_mean']:8.2f}s"
+                  f"{stats['restart_ratio']:11.2f}")
+    print()
+    print("Under 2PL the reports' read locks stall the order writers;")
+    print("MVTO reads old versions instead — lookups and reports never")
+    print("wait, and the writers absorb the (timestamp) conflicts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Sizing a multiprocessor database machine: where restarts become
+affordable.
+
+The paper's Experiment 4 moves the system "from finite resources
+towards infinite resources" — 1 CPU/2 disks, then 5/10, then 25/50 —
+and finds the crossover where the optimistic algorithm's best
+throughput overtakes blocking's: when utilizations fall into the ~30%
+range, wasted restarts stop mattering.
+
+This example sweeps the machine size for a fixed workload and reports,
+for each size, the best throughput and operating point of each
+algorithm plus the winner. Use it to answer: "how much hardware until
+optimistic concurrency control is the right choice?"
+
+Run:  python examples/multiprocessor_sizing.py
+"""
+
+from repro import RunConfig, SimulationParameters, run_simulation
+
+MACHINE_SIZES = [(1, 2), (5, 10), (10, 20), (25, 50)]
+ALGORITHMS = ("blocking", "optimistic")
+MPLS = (10, 25, 50, 100, 200)
+RUN = RunConfig(batches=4, batch_time=20.0, warmup_batches=1, seed=31)
+
+
+def best_operating_point(params_base, algorithm):
+    best = None
+    for mpl in MPLS:
+        result = run_simulation(
+            params_base.with_changes(mpl=mpl), algorithm, RUN
+        )
+        if best is None or result.throughput > best[1]:
+            best = (mpl, result.throughput, result.mean("disk_util"))
+    return best
+
+
+def main():
+    print(f"{'machine':>14s}{'blocking best':>24s}"
+          f"{'optimistic best':>24s}{'winner':>12s}")
+    print("-" * 74)
+    for cpus, disks in MACHINE_SIZES:
+        params = SimulationParameters.table2(
+            num_cpus=cpus, num_disks=disks
+        )
+        cells = {}
+        for algorithm in ALGORITHMS:
+            mpl, tps, util = best_operating_point(params, algorithm)
+            cells[algorithm] = (mpl, tps, util)
+        winner = max(cells, key=lambda a: cells[a][1])
+        line = f"{cpus:>3d} CPU/{disks:>3d} dsk"
+        for algorithm in ALGORITHMS:
+            mpl, tps, util = cells[algorithm]
+            line += f"   {tps:6.1f} tps @mpl={mpl:<3d}"
+        print(line + f"{winner:>14s}")
+    print()
+    print("Blocking rules the small machines; once the hardware is big")
+    print("enough that the disks idle below ~50%, the optimistic")
+    print("algorithm's wasted work stops hurting and it takes the lead —")
+    print("the paper's resource-dependent algorithm choice in one table.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Quickstart: simulate the paper's base system with one algorithm.
+
+Builds the Table 2 configuration (1000-page database, 200 terminals,
+1 CPU, 2 disks), runs dynamic two-phase locking at a multiprogramming
+level of 25 — the paper's best operating point — and prints the
+headline statistics with 90% confidence intervals.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RunConfig, SimulationParameters, run_simulation
+
+
+def main():
+    params = SimulationParameters.table2(mpl=25)
+    run = RunConfig(batches=10, batch_time=30.0, warmup_batches=1, seed=7)
+
+    print("Simulating the paper's base system (Table 2) ...")
+    print(f"  database: {params.db_size} pages, "
+          f"transactions read {params.min_size}-{params.max_size} pages, "
+          f"write_prob={params.write_prob}")
+    print(f"  resources: {params.num_cpus} CPU, {params.num_disks} disks, "
+          f"{params.num_terms} terminals, mpl={params.mpl}")
+    print(f"  statistics: {run.batches} batches x {run.batch_time:.0f}s "
+          f"(+{run.warmup_batches} warmup)")
+    print()
+
+    result = run_simulation(params, algorithm="blocking", run=run)
+
+    throughput = result.interval("throughput")
+    response = result.interval("response_time")
+    print(f"  throughput      : {throughput}")
+    print(f"  response time   : {response}")
+    print(f"  blocks/commit   : {result.mean('block_ratio'):.3f}")
+    print(f"  restarts/commit : {result.mean('restart_ratio'):.3f}")
+    print(f"  disk utilization: {result.mean('disk_util'):.1%} total, "
+          f"{result.mean('disk_util_useful'):.1%} useful")
+    print(f"  commits         : {result.totals['commits']} "
+          f"({result.totals['restarts']} restarts, "
+          f"reasons {result.totals['restart_reasons']})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Regenerate every figure of the paper's evaluation (Figures 3-21).
+
+Runs all ten experiment sweeps — Experiments 1-5 over the paper's
+multiprogramming levels and three algorithms — and writes each figure's
+tables, ASCII plots and raw series to ``paper_figures/``.
+
+With the default statistics profile this takes some minutes on a
+laptop; pass ``--quick`` for a fast smoke pass or ``--full`` for
+20-batch paper-grade statistics (slow).
+
+Run:  python examples/reproduce_paper.py [--quick|--full] [--figure N]
+"""
+
+import argparse
+import os
+import sys
+
+from repro.core import RunConfig
+from repro.experiments import FigureBuilder, sweep_report
+from repro.experiments.runner import DEFAULT_RUN, QUICK_RUN
+
+FULL_RUN = RunConfig(batches=20, batch_time=60.0, warmup_batches=2)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--full", action="store_true")
+    parser.add_argument("--figure", type=int, default=None,
+                        help="one figure only (3..21)")
+    parser.add_argument("--out", default="paper_figures")
+    args = parser.parse_args(argv)
+
+    if args.full:
+        run = FULL_RUN
+    elif args.quick:
+        run = QUICK_RUN
+    else:
+        run = DEFAULT_RUN
+
+    os.makedirs(args.out, exist_ok=True)
+    builder = FigureBuilder(
+        run=run,
+        progress=lambda line: print(line, file=sys.stderr, flush=True),
+    )
+    numbers = [args.figure] if args.figure else list(range(3, 22))
+    for number in numbers:
+        data = builder.figure(number)
+        path = os.path.join(args.out, f"figure{number:02d}.txt")
+        with open(path, "w") as f:
+            f.write(sweep_report(data.sweep))
+            f.write("\n\n")
+            f.write(data.describe())
+            f.write("\n")
+        print(f"figure {number:2d}: {data.title:50s} -> {path}")
+    print(f"\nDone. Tables and plots in {args.out}/")
+
+
+if __name__ == "__main__":
+    main()

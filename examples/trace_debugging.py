@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Watching individual transactions: lifecycle tracing.
+
+Aggregate curves say *that* blocking thrashes; traces show *how*. This
+example attaches a TraceRecorder to a deliberately overheated system
+(tiny database, high mpl, dynamic 2PL), finds the transaction that was
+restarted the most, and prints its full life story — every submission,
+admission, block, deadlock restart and the final commit.
+
+Run:  python examples/trace_debugging.py
+"""
+
+from collections import Counter
+
+from repro import SimulationParameters, SystemModel
+from repro.des import TraceRecorder
+
+
+def main():
+    params = SimulationParameters(
+        db_size=40,
+        min_size=2,
+        max_size=6,
+        write_prob=0.6,
+        num_terms=15,
+        mpl=12,
+        ext_think_time=0.1,
+        obj_io=0.010,
+        obj_cpu=0.005,
+        num_cpus=None,
+        num_disks=None,
+    )
+    tracer = TraceRecorder(capacity=200_000)
+    model = SystemModel(params, "blocking", seed=11, tracer=tracer)
+    model.run_until(30.0)
+
+    print(f"{model.metrics.commits.total} commits, "
+          f"{model.metrics.restarts.total} restarts, "
+          f"{model.metrics.blocks.total} blocks in 30 simulated seconds")
+    print(f"trace: {len(tracer)} records "
+          f"({dict(tracer.counts)})")
+    print()
+
+    restarts_by_tx = Counter(
+        record.tx for record in tracer.query(kind="restart")
+    )
+    victim_id, times = restarts_by_tx.most_common(1)[0]
+    print(f"most-restarted transaction: #{victim_id} "
+          f"({times} deadlock restarts). Its life:")
+    for record in tracer.transaction_timeline(victim_id):
+        print(f"  {record}")
+    print()
+    commit = next(iter(tracer.query(kind="commit", tx=victim_id)), None)
+    if commit is not None:
+        print(f"...it finally committed after {commit.response:.2f}s "
+              f"(attempt {commit.attempt}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro — a reproduction of Agrawal, Carey & Livny (SIGMOD 1985):
+"Models for Studying Concurrency Control Performance: Alternatives and
+Implications".
+
+A complete closed-queuing-model simulator of a single-site database
+system, the paper's three concurrency-control strategies (blocking /
+immediate-restart / optimistic) plus classic extensions, and a harness
+that regenerates every figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro import SimulationParameters, RunConfig, run_simulation
+
+    params = SimulationParameters.table2(mpl=25)
+    result = run_simulation(params, algorithm="blocking",
+                            run=RunConfig(batches=10, batch_time=20.0))
+    print(result.describe())
+"""
+
+from repro.cc import (
+    PAPER_ALGORITHMS,
+    algorithm_names,
+    create_algorithm,
+    register_algorithm,
+)
+from repro.core import (
+    PAPER_MPLS,
+    RunConfig,
+    SimulationParameters,
+    SimulationResult,
+    SystemModel,
+    TransactionClass,
+    run_simulation,
+    run_until_precision,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimulationParameters",
+    "TransactionClass",
+    "RunConfig",
+    "SystemModel",
+    "run_simulation",
+    "run_until_precision",
+    "SimulationResult",
+    "PAPER_ALGORITHMS",
+    "PAPER_MPLS",
+    "algorithm_names",
+    "create_algorithm",
+    "register_algorithm",
+    "__version__",
+]

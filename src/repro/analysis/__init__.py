@@ -1,0 +1,36 @@
+"""Analysis utilities: correctness verification and adaptive control.
+
+* :mod:`repro.analysis.verify` — serializability checking of committed
+  histories via serial replay in each algorithm's equivalent serial
+  order.
+* :mod:`repro.analysis.adaptive` — an adaptive multiprogramming-level
+  controller, the "open problem" sketched in the paper's conclusions.
+"""
+
+from repro.analysis.verify import (
+    HistoryViolation,
+    VerificationReport,
+    check_serializability,
+    conflict_graph,
+)
+from repro.analysis.adaptive import AdaptiveMplController, AdaptiveMplResult
+from repro.analysis.bounds import (
+    OperationalBounds,
+    check_result_against_bounds,
+    operational_bounds,
+)
+from repro.analysis.sensitivity import ParameterSweepResult, parameter_sweep
+
+__all__ = [
+    "check_serializability",
+    "conflict_graph",
+    "VerificationReport",
+    "HistoryViolation",
+    "AdaptiveMplController",
+    "AdaptiveMplResult",
+    "parameter_sweep",
+    "ParameterSweepResult",
+    "operational_bounds",
+    "OperationalBounds",
+    "check_result_against_bounds",
+]

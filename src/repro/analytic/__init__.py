@@ -1,0 +1,48 @@
+"""Analytical companion models for the simulated queuing network.
+
+The paper sits in a literature split between *simulation* studies and
+*analytical* studies of concurrency control; this package provides the
+analytical side for the contention-free substrate so the two can be
+checked against each other:
+
+* :mod:`repro.analytic.mva` — exact Mean-Value Analysis
+  (Reiser–Lavenberg) of single-class closed queuing networks with
+  delay, single-server, and multi-server (load-dependent) centers;
+* :mod:`repro.analytic.bridge` — builds the MVA network corresponding
+  to a :class:`~repro.core.SimulationParameters` configuration and
+  predicts contention-free throughput/response curves that the ``noop``
+  baseline must track.
+
+Data contention (the algorithms' blocking and restarts) only *lowers*
+throughput below these predictions, so MVA also acts as a per-point
+upper bound oracle — a sharper one than the asymptotic bounds of
+:mod:`repro.analysis.bounds`.
+"""
+
+from repro.analytic.mva import (
+    Center,
+    DELAY,
+    MULTI_SERVER,
+    MvaResult,
+    QUEUEING,
+    solve_closed_network,
+)
+from repro.analytic.approx import solve_closed_network_approx
+from repro.analytic.bridge import (
+    mva_prediction,
+    network_for_params,
+    predicted_curve,
+)
+
+__all__ = [
+    "Center",
+    "DELAY",
+    "QUEUEING",
+    "MULTI_SERVER",
+    "MvaResult",
+    "solve_closed_network",
+    "solve_closed_network_approx",
+    "network_for_params",
+    "mva_prediction",
+    "predicted_curve",
+]

@@ -1,0 +1,84 @@
+"""Bridging SimulationParameters to the MVA network.
+
+The contention-free view of the paper's model is a product-form closed
+network: ``num_terms`` customers cycling through a terminal delay
+(external think time), an optional internal-think delay, a CPU pool
+(multi-server), and ``num_disks`` disks (single-server each, visited
+uniformly). :func:`mva_prediction` solves it; the ``noop`` baseline of
+the simulator must track the prediction wherever the mpl limit is not
+binding (mpl >= num_terms means no admission queueing, which MVA does
+not model).
+"""
+
+from repro.analytic.mva import (
+    Center,
+    DELAY,
+    MULTI_SERVER,
+    QUEUEING,
+    solve_closed_network,
+    solve_curve,
+)
+
+
+def network_for_params(params):
+    """The MVA centers equivalent to a parameter configuration.
+
+    Raises ValueError for infinite-resource configurations (model them
+    as delay-only networks by conversion, which this function does
+    automatically) — actually infinite resources simply become delay
+    centers, so everything is representable.
+    """
+    accesses = params.expected_reads() + params.expected_writes()
+    cpu_demand = accesses * params.obj_cpu
+    disk_demand = accesses * params.obj_io
+
+    centers = [Center("terminals", DELAY, params.ext_think_time)]
+    if params.int_think_time > 0.0:
+        centers.append(
+            Center("internal_think", DELAY, params.int_think_time)
+        )
+
+    if params.num_cpus is None:
+        centers.append(Center("cpu", DELAY, cpu_demand))
+    elif params.num_cpus == 1:
+        centers.append(Center("cpu", QUEUEING, cpu_demand))
+    else:
+        centers.append(
+            Center(
+                "cpu", MULTI_SERVER, cpu_demand,
+                servers=params.num_cpus,
+            )
+        )
+
+    if params.num_disks is None:
+        centers.append(Center("disks", DELAY, disk_demand))
+    else:
+        per_disk = disk_demand / params.num_disks
+        for index in range(params.num_disks):
+            centers.append(Center(f"disk{index}", QUEUEING, per_disk))
+    return centers
+
+
+def mva_prediction(params, population=None):
+    """Contention-free MVA solution for a configuration.
+
+    ``population`` defaults to the terminal count. The prediction
+    ignores the mpl admission limit and all data contention, so it is
+    exact (modulo deterministic-vs-exponential service) only for the
+    ``noop`` baseline with mpl >= num_terms, and an upper bound
+    otherwise.
+    """
+    population = population or params.num_terms
+    return solve_closed_network(network_for_params(params), population)
+
+
+def predicted_curve(params, populations=None):
+    """[(population, predicted throughput)] over a population sweep."""
+    top = max(populations) if populations else params.num_terms
+    curve = solve_curve(network_for_params(params), top)
+    wanted = set(populations) if populations else None
+    return [
+        (result.population, result.throughput)
+        for result in curve
+        if wanted is None or result.population in wanted
+    ]

@@ -1,0 +1,145 @@
+"""The interface every concurrency-control algorithm implements.
+
+The engine (``repro.core.engine``) drives an algorithm through this
+protocol. All methods are synchronous; a method that cannot complete the
+request immediately returns a *wait event* that the transaction's process
+must yield on. Conflict decisions surface as
+:class:`~repro.cc.errors.RestartTransaction`, either raised directly into
+the requester or delivered by failing a victim's wait event / interrupting
+its process via the engine hooks.
+
+Sequence per transaction attempt::
+
+    begin(tx)
+    for obj in tx.read_set:   read_request(tx, obj)   # may return event
+    for obj in tx.write_set:  write_request(tx, obj)  # may return event
+    pre_commit(tx)       # commit-point validation; may raise / return event
+    ... deferred updates performed by the engine ...
+    finalize_commit(tx)  # release locks etc.
+
+    abort(tx)  # instead, whenever RestartTransaction reached the engine
+"""
+
+# Restart-delay policies an algorithm may declare as its default.
+DELAY_NONE = "none"
+DELAY_ADAPTIVE = "adaptive"
+
+# When the engine should install a committing transaction's writes into
+# the (logical) object store: at the commit point established by
+# pre_commit, or when the transaction finally completes.
+INSTALL_AT_PRE_COMMIT = "pre_commit"
+INSTALL_AT_FINALIZE = "finalize"
+
+
+def cc_units_read(tx):
+    """The CC units (granules or objects) a transaction reads.
+
+    Falls back to the raw read set for plain test doubles; the engine
+    always populates ``cc_read_set``.
+    """
+    units = getattr(tx, "cc_read_set", None)
+    return units if units else tx.read_set
+
+
+def cc_units_written(tx):
+    """The CC units a transaction writes (see :func:`cc_units_read`)."""
+    units = getattr(tx, "cc_write_set", None)
+    return units if units else tx.write_set
+
+
+class EngineHooks:
+    """Callbacks an algorithm uses to talk back to the engine.
+
+    The engine passes a concrete implementation to :meth:`attach`. A
+    null implementation makes algorithms unit-testable standalone.
+    """
+
+    def count_block(self, tx):
+        """A concurrency-control request just blocked ``tx``."""
+
+    def abort_remote(self, tx, error):
+        """Abort ``tx``, which is NOT currently waiting on a CC event.
+
+        Used by algorithms that abort running transactions (wound-wait).
+        ``error`` is the RestartTransaction to deliver.
+        """
+        raise NotImplementedError(
+            "this engine cannot abort running transactions"
+        )
+
+
+class ConcurrencyControl:
+    """Abstract base for concurrency-control algorithms."""
+
+    #: Registry name, e.g. ``"blocking"``.
+    name = None
+    #: Default restart-delay policy (the paper's per-algorithm choice).
+    default_restart_delay = DELAY_NONE
+    #: When the engine installs writes into the logical object store.
+    install_at = INSTALL_AT_FINALIZE
+
+    def __init__(self):
+        self.env = None
+        self.hooks = EngineHooks()
+
+    def attach(self, env, hooks=None):
+        """Bind the algorithm to a simulation environment."""
+        self.env = env
+        if hooks is not None:
+            self.hooks = hooks
+        return self
+
+    # -- protocol ---------------------------------------------------------
+
+    def begin(self, tx):
+        """A new attempt of ``tx`` starts executing."""
+
+    def read_request(self, tx, obj):
+        """CC request preceding a read of ``obj``.
+
+        Returns None (proceed) or an event to wait on. Raises
+        RestartTransaction to abort the requester.
+        """
+        return None
+
+    def write_request(self, tx, obj):
+        """CC request preceding a write of ``obj`` (read locks upgrade)."""
+        return None
+
+    def pre_commit(self, tx):
+        """Commit-point processing (e.g. optimistic validation).
+
+        Returns None or an event; raises RestartTransaction on failure.
+        After this returns/fires, the transaction is logically committed.
+        """
+        return None
+
+    def finalize_commit(self, tx):
+        """Called after deferred updates complete; release CC state."""
+
+    def abort(self, tx):
+        """Clean up CC state for an aborted attempt of ``tx``."""
+
+    # -- serialization-order hooks (used by the engine's object store) -----
+
+    def serial_key(self, tx):
+        """Equivalent-serial-order key of a committing transaction.
+
+        None means "assign a fresh commit-order key" (correct for strict
+        2PL variants and optimistic validation order). Timestamp-ordering
+        algorithms return the transaction's timestamp instead.
+        """
+        return None
+
+    def reader_version_key(self, tx):
+        """Version-selection key for reads (None = read latest installed).
+
+        Only multiversion algorithms override this.
+        """
+        return None
+
+    # -- introspection ------------------------------------------------------
+
+    def describe(self):
+        """One-line human description (used in reports)."""
+        return type(self).__doc__.strip().splitlines()[0]

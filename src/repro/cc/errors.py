@@ -1,0 +1,37 @@
+"""Exceptions used by the concurrency-control layer."""
+
+
+class ConcurrencyControlError(Exception):
+    """Base class for protocol-level errors (bugs, not conflicts)."""
+
+
+class RestartTransaction(Exception):
+    """A transaction attempt must be aborted and retried from the start.
+
+    Raised synchronously into the requester (lock denial under
+    immediate-restart, failed validation, timestamp rejection, requester
+    chosen as deadlock victim) or delivered asynchronously by failing the
+    victim's lock-wait event / interrupting its process (deadlock victim,
+    wound-wait wound).
+
+    ``reason`` is one of the ``REASON_*`` constants below; the engine uses
+    it for metrics and the restart-delay policy.
+    """
+
+    def __init__(self, reason, detail=""):
+        super().__init__(reason, detail)
+        self.reason = reason
+        self.detail = detail
+
+    def __str__(self):
+        if self.detail:
+            return f"{self.reason}: {self.detail}"
+        return self.reason
+
+
+# Restart reasons (stable strings; they appear in metrics breakdowns).
+REASON_DEADLOCK = "deadlock"
+REASON_LOCK_CONFLICT = "lock_conflict"
+REASON_VALIDATION = "validation_failure"
+REASON_TIMESTAMP = "timestamp_order"
+REASON_WOUND = "wounded"

@@ -1,0 +1,56 @@
+"""The paper's Immediate-Restart algorithm.
+
+Like blocking, transactions read-lock what they read and upgrade to write
+locks for what they write — but a *denied* lock request aborts the
+requester instead of blocking it. The restarted transaction is delayed
+for a period on the order of one transaction response time (adaptive:
+exponential with mean equal to the running-average response time) so the
+conflicting transaction can finish; otherwise the same conflict recurs
+immediately. There are never any waiters, hence never any deadlocks.
+"""
+
+from repro.cc.base import (
+    DELAY_ADAPTIVE,
+    INSTALL_AT_FINALIZE,
+    ConcurrencyControl,
+)
+from repro.cc.errors import REASON_LOCK_CONFLICT, RestartTransaction
+from repro.cc.locks import LockManager, LockMode
+
+
+class ImmediateRestartCC(ConcurrencyControl):
+    """Locking where conflicts restart the requester after a delay."""
+
+    name = "immediate_restart"
+    default_restart_delay = DELAY_ADAPTIVE
+    install_at = INSTALL_AT_FINALIZE
+
+    def __init__(self):
+        super().__init__()
+        self.locks = None
+
+    def attach(self, env, hooks=None):
+        super().attach(env, hooks)
+        self.locks = LockManager(env)
+        return self
+
+    def read_request(self, tx, obj):
+        return self._nonwaiting_request(tx, obj, LockMode.SHARED)
+
+    def write_request(self, tx, obj):
+        return self._nonwaiting_request(tx, obj, LockMode.EXCLUSIVE)
+
+    def _nonwaiting_request(self, tx, obj, mode):
+        result = self.locks.acquire(tx, obj, mode, wait=False)
+        if result.granted:
+            return None
+        raise RestartTransaction(
+            REASON_LOCK_CONFLICT,
+            f"{mode.name.lower()} lock denied on object {obj}",
+        )
+
+    def finalize_commit(self, tx):
+        self.locks.release_all(tx)
+
+    def abort(self, tx):
+        self.locks.release_all(tx)

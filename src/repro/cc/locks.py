@@ -1,0 +1,290 @@
+"""A shared/exclusive lock manager with upgrades and FCFS queueing.
+
+Semantics (classical System R-style, as assumed by the paper):
+
+* Shared (read) locks are compatible with each other; exclusive (write)
+  locks are compatible with nothing.
+* Transactions read-lock objects they read and later *upgrade* to an
+  exclusive lock for objects they also write.
+* Grant order is FCFS, except that upgrade requests queue ahead of
+  ordinary requests (they already hold the object in shared mode).
+* A new request is granted only if it is compatible with all holders AND
+  no request is already queued (no overtaking), except that an upgrade by
+  the sole holder is granted immediately.
+
+The lock manager is policy-free: it never decides to block or restart.
+Algorithms call :meth:`acquire` with ``wait=True`` (blocking 2PL variants)
+or ``wait=False`` (immediate-restart), inspect :meth:`blockers` to build
+waits-for edges, and fail a victim's wait event to abort it remotely.
+"""
+
+from collections import deque
+from enum import IntEnum
+
+
+class LockMode(IntEnum):
+    SHARED = 0
+    EXCLUSIVE = 1
+
+
+def compatible(mode_a, mode_b):
+    """Two lock modes can be held on one object simultaneously."""
+    return mode_a is LockMode.SHARED and mode_b is LockMode.SHARED
+
+
+class LockRequest:
+    """A queued (not yet granted) lock request."""
+
+    __slots__ = ("tx", "obj", "mode", "event", "is_upgrade")
+
+    def __init__(self, tx, obj, mode, event, is_upgrade):
+        self.tx = tx
+        self.obj = obj
+        self.mode = mode
+        self.event = event
+        self.is_upgrade = is_upgrade
+
+    @property
+    def is_dead(self):
+        """True if the wait event already fired (granted or victimized)."""
+        return self.event.triggered
+
+    def __repr__(self):
+        kind = "upgrade" if self.is_upgrade else self.mode.name.lower()
+        return f"<LockRequest tx={self.tx!r} obj={self.obj} {kind}>"
+
+
+class _Lock:
+    """Per-object lock state: current holders and the waiter queue."""
+
+    __slots__ = ("holders", "queue")
+
+    def __init__(self):
+        self.holders = {}  # tx -> LockMode
+        self.queue = deque()  # of LockRequest
+
+    @property
+    def is_idle(self):
+        return not self.holders and not self.queue
+
+
+class AcquireResult:
+    """Outcome of :meth:`LockManager.acquire`.
+
+    ``granted`` — the lock is held; ``event`` is None.
+    Not granted with ``wait=True`` — ``event`` fires when granted (or
+    fails with :class:`RestartTransaction` if the waiter is victimized).
+    Not granted with ``wait=False`` — nothing was queued.
+    """
+
+    __slots__ = ("granted", "event", "request")
+
+    def __init__(self, granted, event=None, request=None):
+        self.granted = granted
+        self.event = event
+        self.request = request
+
+
+class LockManager:
+    """Lock table over an object-identifier space."""
+
+    def __init__(self, env):
+        self.env = env
+        self._locks = {}  # obj -> _Lock
+
+    # -- queries --------------------------------------------------------
+
+    def mode_held(self, tx, obj):
+        """The mode ``tx`` holds on ``obj`` (None if not a holder)."""
+        lock = self._locks.get(obj)
+        if lock is None:
+            return None
+        return lock.holders.get(tx)
+
+    def holders(self, obj):
+        """Mapping of holder transaction -> mode for ``obj``."""
+        lock = self._locks.get(obj)
+        if lock is None:
+            return {}
+        return dict(lock.holders)
+
+    def queued_requests(self, obj):
+        lock = self._locks.get(obj)
+        if lock is None:
+            return []
+        return [r for r in lock.queue if not r.is_dead]
+
+    def all_blocked_requests(self):
+        """Every live queued request across the table."""
+        for lock in self._locks.values():
+            for request in lock.queue:
+                if not request.is_dead:
+                    yield request
+
+    def locks_held_by(self, tx):
+        """Objects currently locked by ``tx`` (any mode)."""
+        return [
+            obj for obj, lock in self._locks.items() if tx in lock.holders
+        ]
+
+    def would_conflict_with(self, tx, obj, mode):
+        """Transactions a new request by ``tx`` would wait for, without
+        enqueueing anything.
+
+        Used by timestamp-priority algorithms (wound-wait, wait-die) to
+        decide wound/wait/die before committing to a queue position:
+        incompatible holders plus already-queued incompatible requests
+        (which would be granted first under FCFS). An upgrade conflicts
+        exactly with the other current holders.
+        """
+        lock = self._locks.get(obj)
+        if lock is None:
+            return set()
+        held = lock.holders.get(tx)
+        if held is not None and held >= mode:
+            return set()
+        if held is LockMode.SHARED and mode is LockMode.EXCLUSIVE:
+            return {h for h in lock.holders if h is not tx}
+        conflicts = {
+            holder
+            for holder, holder_mode in lock.holders.items()
+            if holder is not tx and not compatible(mode, holder_mode)
+        }
+        for queued in lock.queue:
+            if queued.is_dead or queued.tx is tx:
+                continue
+            if not compatible(mode, queued.mode):
+                conflicts.add(queued.tx)
+        return conflicts
+
+    # -- acquisition ----------------------------------------------------
+
+    def acquire(self, tx, obj, mode, wait=True):
+        """Try to lock ``obj`` in ``mode`` for ``tx``.
+
+        Re-requesting a mode already covered by the held mode is a no-op
+        grant. Requesting EXCLUSIVE while holding SHARED is an upgrade.
+        """
+        lock = self._locks.get(obj)
+        if lock is None:
+            lock = self._locks[obj] = _Lock()
+        held = lock.holders.get(tx)
+        if held is not None and held >= mode:
+            return AcquireResult(granted=True)
+
+        is_upgrade = held is LockMode.SHARED and mode is LockMode.EXCLUSIVE
+        if self._grantable(lock, tx, mode, is_upgrade):
+            lock.holders[tx] = mode
+            return AcquireResult(granted=True)
+
+        if not wait:
+            return AcquireResult(granted=False)
+
+        event = self.env.event()
+        request = LockRequest(tx, obj, mode, event, is_upgrade)
+        if is_upgrade:
+            self._enqueue_upgrade(lock, request)
+        else:
+            lock.queue.append(request)
+        return AcquireResult(granted=False, event=event, request=request)
+
+    def _grantable(self, lock, tx, mode, is_upgrade):
+        if is_upgrade:
+            # The sole holder may upgrade in place regardless of the queue:
+            # queued waiters do not hold the object.
+            return set(lock.holders) == {tx}
+        if lock.queue:
+            return False  # no overtaking queued waiters
+        return all(compatible(mode, held) for held in lock.holders.values())
+
+    @staticmethod
+    def _enqueue_upgrade(lock, request):
+        """Place an upgrade after existing upgrades but before others."""
+        position = 0
+        for queued in lock.queue:
+            if not queued.is_upgrade:
+                break
+            position += 1
+        lock.queue.insert(position, request)
+
+    # -- waits-for support ------------------------------------------------
+
+    def blockers(self, request):
+        """Transactions ``request.tx`` is waiting for.
+
+        Incompatible current holders, plus transactions queued ahead with
+        an incompatible requested mode (they will be granted first under
+        FCFS, so the requester transitively waits for them).
+        """
+        lock = self._locks.get(request.obj)
+        if lock is None:
+            return set()
+        waiting_for = {
+            holder
+            for holder, held in lock.holders.items()
+            if holder is not request.tx and not compatible(request.mode, held)
+        }
+        for queued in lock.queue:
+            if queued is request:
+                break
+            if queued.is_dead or queued.tx is request.tx:
+                continue
+            if not compatible(request.mode, queued.mode):
+                waiting_for.add(queued.tx)
+        return waiting_for
+
+    # -- release ----------------------------------------------------------
+
+    def release_all(self, tx):
+        """Drop every hold and queued request of ``tx``; grant waiters.
+
+        Used at commit (release together at end-of-transaction) and at
+        abort. Queued requests of ``tx`` whose event has not fired are
+        silently discarded — the caller guarantees nothing waits on them
+        anymore (the aborting process was already resumed by exception).
+        """
+        touched = []
+        for obj, lock in self._locks.items():
+            changed = False
+            if lock.holders.pop(tx, None) is not None:
+                changed = True
+            if any(r.tx is tx for r in lock.queue):
+                lock.queue = deque(r for r in lock.queue if r.tx is not tx)
+                changed = True
+            if changed:
+                touched.append(obj)
+        for obj in touched:
+            self._grant_waiters(obj)
+        self._prune()
+        return touched
+
+    def _grant_waiters(self, obj):
+        lock = self._locks.get(obj)
+        if lock is None:
+            return
+        while lock.queue:
+            head = lock.queue[0]
+            if head.is_dead:
+                lock.queue.popleft()
+                continue
+            if head.is_upgrade:
+                if set(lock.holders) != {head.tx}:
+                    break
+            elif lock.holders and not all(
+                compatible(head.mode, held)
+                for held in lock.holders.values()
+            ):
+                break
+            lock.queue.popleft()
+            lock.holders[head.tx] = head.mode
+            head.event.succeed()
+
+    def _prune(self):
+        idle = [obj for obj, lock in self._locks.items() if lock.is_idle]
+        for obj in idle:
+            del self._locks[obj]
+
+    def __repr__(self):
+        held = sum(len(lock.holders) for lock in self._locks.values())
+        queued = sum(len(lock.queue) for lock in self._locks.values())
+        return f"<LockManager holds={held} queued={queued}>"

@@ -1,0 +1,18 @@
+"""A no-op "algorithm" that grants everything and never restarts.
+
+Not a correct concurrency control — committed histories may be
+non-serializable. It exists as the contention-free baseline: running the
+model with it measures pure resource behavior (queueing, utilization,
+throughput ceilings) with zero data contention, which is how we validate
+the physical model against closed-form queueing expectations.
+"""
+
+from repro.cc.base import DELAY_NONE, INSTALL_AT_FINALIZE, ConcurrencyControl
+
+
+class NoOpCC(ConcurrencyControl):
+    """Grants every request immediately; for calibration only."""
+
+    name = "noop"
+    default_restart_delay = DELAY_NONE
+    install_at = INSTALL_AT_FINALIZE

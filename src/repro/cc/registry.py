@@ -1,0 +1,66 @@
+"""Name -> algorithm registry.
+
+The three paper algorithms are ``blocking``, ``immediate_restart`` and
+``optimistic``; the rest are extensions (see DESIGN.md section 6).
+"""
+
+from repro.cc.blocking import BlockingCC
+from repro.cc.immediate_restart import ImmediateRestartCC
+from repro.cc.multiversion import MultiversionTimestampOrderingCC
+from repro.cc.noop import NoOpCC
+from repro.cc.optimistic import OptimisticCC
+from repro.cc.static_locking import StaticLockingCC
+from repro.cc.timestamp import BasicTimestampOrderingCC
+from repro.cc.wait_die import WaitDieCC
+from repro.cc.wound_wait import WoundWaitCC
+
+_ALGORITHMS = {
+    cls.name: cls
+    for cls in (
+        BlockingCC,
+        ImmediateRestartCC,
+        OptimisticCC,
+        BasicTimestampOrderingCC,
+        MultiversionTimestampOrderingCC,
+        WoundWaitCC,
+        WaitDieCC,
+        StaticLockingCC,
+        NoOpCC,
+    )
+}
+
+#: The algorithms studied by the paper, in its presentation order.
+PAPER_ALGORITHMS = ("blocking", "immediate_restart", "optimistic")
+
+
+def algorithm_names():
+    """All registered algorithm names, sorted."""
+    return sorted(_ALGORITHMS)
+
+
+def create_algorithm(name, **kwargs):
+    """Instantiate a registered algorithm by name.
+
+    Extra keyword arguments are forwarded to the algorithm constructor
+    (e.g. ``thomas_write_rule=True`` for ``basic_to``).
+    """
+    try:
+        cls = _ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown concurrency control algorithm {name!r}; "
+            f"choose from {algorithm_names()}"
+        ) from None
+    return cls(**kwargs)
+
+
+def register_algorithm(cls):
+    """Register a user-supplied ConcurrencyControl subclass by its name.
+
+    The simulation framework "is intended to support any concurrency
+    control algorithm" (paper, section 3); this is the extension point.
+    """
+    if not getattr(cls, "name", None):
+        raise ValueError("algorithm class must define a non-empty name")
+    _ALGORITHMS[cls.name] = cls
+    return cls

@@ -1,0 +1,90 @@
+"""Static (predeclared) two-phase locking.
+
+The Blocking algorithm of the paper is *dynamic* 2PL: locks are
+requested as objects are accessed, which is what makes deadlock
+possible. The classic alternative — used by the ancestral models of
+[Ries77, Ries79] and compared against dynamic locking in the TODS 1987
+expansion of this paper — is **static locking**: a transaction declares
+its whole read and write set up front and acquires every lock *before
+its first access*.
+
+We acquire the predeclared locks one at a time in global object order,
+blocking as needed. Ordered acquisition makes deadlock impossible (all
+waits-for edges point from lower- to higher-ordered lock positions), so
+no detector is required. Write-set objects are locked exclusively from
+the start (no upgrades — upgrade deadlocks cannot exist either).
+
+The price of this safety is concurrency: locks are held from before the
+first read instead of from first use, so static locking blocks more
+than dynamic locking at the same contention level.
+"""
+
+from repro.cc.base import (
+    DELAY_NONE,
+    INSTALL_AT_FINALIZE,
+    ConcurrencyControl,
+    cc_units_read,
+    cc_units_written,
+)
+from repro.cc.locks import LockManager, LockMode
+
+
+class StaticLockingCC(ConcurrencyControl):
+    """Predeclaration locking: all locks acquired before any access."""
+
+    name = "static_locking"
+    default_restart_delay = DELAY_NONE
+    install_at = INSTALL_AT_FINALIZE
+
+    def __init__(self):
+        super().__init__()
+        self.locks = None
+
+    def attach(self, env, hooks=None):
+        super().attach(env, hooks)
+        self.locks = LockManager(env)
+        return self
+
+    def begin(self, tx):
+        """Build the ordered lock plan for this attempt."""
+        written = set(cc_units_written(tx))
+        tx.static_lock_plan = [
+            (unit, LockMode.EXCLUSIVE if unit in written
+             else LockMode.SHARED)
+            for unit in sorted(set(cc_units_read(tx)))
+        ]
+        tx.static_lock_index = 0
+
+    def read_request(self, tx, obj):
+        """First request drives the whole predeclared acquisition.
+
+        The engine re-issues the request after each wait, so this
+        method simply advances through the plan, returning the wait
+        event of the first unavailable lock each time, until the plan
+        is complete. Requests for later objects find the plan finished
+        and return immediately.
+        """
+        plan = tx.static_lock_plan
+        while tx.static_lock_index < len(plan):
+            planned_obj, mode = plan[tx.static_lock_index]
+            result = self.locks.acquire(tx, planned_obj, mode, wait=True)
+            if not result.granted:
+                self.hooks.count_block(tx)
+                tx.lock_wait_event = result.event
+                return result.event
+            tx.static_lock_index += 1
+        return None
+
+    def write_request(self, tx, obj):
+        """Writes were locked exclusively up front; nothing to do."""
+        return None
+
+    def finalize_commit(self, tx):
+        tx.lock_wait_event = None
+        self.locks.release_all(tx)
+
+    def abort(self, tx):
+        """Only reachable through external aborts (e.g. delay modes);
+        static locking itself never restarts anyone."""
+        tx.lock_wait_event = None
+        self.locks.release_all(tx)

@@ -1,0 +1,173 @@
+"""Basic Timestamp Ordering (the comparator of [Gall82] and [Lin83]).
+
+Every transaction attempt carries a unique timestamp. Conflicting
+accesses must occur in timestamp order:
+
+* a read by T is rejected if some younger-stamped write already committed
+  (``ts(T) < write_ts(obj)``);
+* a read must wait for pending earlier-stamped prewrites to resolve
+  (otherwise it would miss their values);
+* a write (prewrite) by T is rejected if a younger-stamped read or write
+  already got to the object first (``ts(T) < read_ts(obj)`` or, without
+  the Thomas write rule, ``ts(T) < write_ts(obj)``).
+
+Rejections restart the attempt, which re-runs with a fresh (younger)
+timestamp. With the Thomas write rule enabled, obsolete writes are
+silently skipped instead of restarting the writer.
+
+Writes install at the commit point (deferred updates), which is when
+``write_ts`` advances and blocked readers re-check.
+"""
+
+from repro.cc.base import (
+    DELAY_NONE,
+    INSTALL_AT_PRE_COMMIT,
+    ConcurrencyControl,
+    cc_units_written,
+)
+from repro.cc.errors import REASON_TIMESTAMP, RestartTransaction
+
+#: Smaller than any real timestamp tuple (time, seq).
+MIN_TS = (float("-inf"), -1)
+
+
+class _ObjectState:
+    """Timestamp bookkeeping for one object."""
+
+    __slots__ = ("read_ts", "write_ts", "prewrites")
+
+    def __init__(self):
+        self.read_ts = MIN_TS
+        self.write_ts = MIN_TS
+        # tx -> list of waiter events to wake when the prewrite resolves.
+        self.prewrites = {}
+
+    def pending_before(self, ts):
+        """Transactions with a pending prewrite stamped earlier than ts."""
+        return [
+            tx for tx in self.prewrites if tx.cc_timestamp < ts
+        ]
+
+
+class BasicTimestampOrderingCC(ConcurrencyControl):
+    """Basic TO: conflicting accesses forced into timestamp order."""
+
+    name = "basic_to"
+    default_restart_delay = DELAY_NONE
+    install_at = INSTALL_AT_PRE_COMMIT
+
+    def __init__(self, thomas_write_rule=False):
+        super().__init__()
+        self.thomas_write_rule = thomas_write_rule
+        self._objects = {}
+        self.rejections = 0
+
+    def _state(self, obj):
+        state = self._objects.get(obj)
+        if state is None:
+            state = self._objects[obj] = _ObjectState()
+        return state
+
+    def begin(self, tx):
+        tx.to_skipped_writes = set()
+
+    # -- reads ---------------------------------------------------------------
+
+    def read_request(self, tx, obj):
+        state = self._state(obj)
+        ts = tx.cc_timestamp
+        if ts < state.write_ts:
+            self.rejections += 1
+            raise RestartTransaction(
+                REASON_TIMESTAMP,
+                f"read of {obj} behind committed write",
+            )
+        pending = state.pending_before(ts)
+        if pending and not all(p is tx for p in pending):
+            # Wait for any one earlier prewrite to resolve, then the
+            # engine re-issues the request and we re-check from scratch.
+            blocker = next(p for p in pending if p is not tx)
+            event = self.env.event()
+            state.prewrites[blocker].append(event)
+            self.hooks.count_block(tx)
+            return event
+        if ts > state.read_ts:
+            state.read_ts = ts
+        return None
+
+    # -- writes (prewrites) ----------------------------------------------------
+
+    def write_request(self, tx, obj):
+        state = self._state(obj)
+        ts = tx.cc_timestamp
+        if ts < state.read_ts:
+            self.rejections += 1
+            raise RestartTransaction(
+                REASON_TIMESTAMP,
+                f"write of {obj} behind committed read",
+            )
+        if ts < state.write_ts:
+            if self.thomas_write_rule:
+                tx.to_skipped_writes.add(obj)
+                return None
+            self.rejections += 1
+            raise RestartTransaction(
+                REASON_TIMESTAMP,
+                f"write of {obj} behind committed write",
+            )
+        state.prewrites.setdefault(tx, [])
+        return None
+
+    # -- commit/abort ------------------------------------------------------------
+
+    def pre_commit(self, tx):
+        """Install writes: advance write_ts, resolve prewrites, wake readers.
+
+        With the Thomas write rule, writes that were obsolete at request
+        time stay skipped; writes that became obsolete since (a younger
+        writer committed first) are skipped here for the same reason.
+        Skips are recorded as CC units in ``tx.to_skipped_writes``; the
+        engine maps them back onto object-level writes.
+        """
+        for unit in cc_units_written(tx):
+            state = self._state(unit)
+            ts = tx.cc_timestamp
+            if unit in tx.to_skipped_writes:
+                self._resolve_prewrite(state, tx)
+                continue
+            if ts < state.write_ts:
+                if self.thomas_write_rule:
+                    tx.to_skipped_writes.add(unit)
+                    self._resolve_prewrite(state, tx)
+                    continue
+                self._abort_prewrites(tx)
+                self.rejections += 1
+                raise RestartTransaction(
+                    REASON_TIMESTAMP,
+                    f"install of {unit} behind committed write",
+                )
+            state.write_ts = ts
+            self._resolve_prewrite(state, tx)
+        return None
+
+    def abort(self, tx):
+        self._abort_prewrites(tx)
+
+    def serial_key(self, tx):
+        """Basic TO serializes committed transactions in timestamp order."""
+        return tx.cc_timestamp
+
+    def _abort_prewrites(self, tx):
+        for unit in cc_units_written(tx):
+            state = self._objects.get(unit)
+            if state is not None:
+                self._resolve_prewrite(state, tx)
+
+    @staticmethod
+    def _resolve_prewrite(state, tx):
+        waiters = state.prewrites.pop(tx, None)
+        if not waiters:
+            return
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()

@@ -1,0 +1,80 @@
+"""Waits-for graph construction and cycle detection for deadlock handling.
+
+The paper maintains a waits-for graph of transactions [Gray79] and runs
+deadlock detection *each time a transaction blocks*. We rebuild the graph
+from the live lock-table state at each detection — with mpl <= a few
+hundred transactions the graph is tiny, and deriving it from one source of
+truth eliminates incremental-maintenance bugs.
+"""
+
+
+def build_waits_for(lock_manager):
+    """Adjacency mapping tx -> set of transactions it waits for."""
+    graph = {}
+    for request in lock_manager.all_blocked_requests():
+        blockers = lock_manager.blockers(request)
+        if not blockers:
+            continue
+        graph.setdefault(request.tx, set()).update(blockers)
+    return graph
+
+
+def find_cycle_containing(graph, start):
+    """A cycle through ``start`` as a list of transactions, or None.
+
+    Iterative DFS over the waits-for edges; returns the cycle path
+    ``[start, t1, ..., tk]`` such that ``tk`` waits for ``start``.
+    """
+    if start not in graph:
+        return None
+    path = [start]
+    on_path = {start}
+    iterators = [iter(graph.get(start, ()))]
+    visited = set()
+    while iterators:
+        found_next = False
+        for successor in iterators[-1]:
+            if successor is start and len(path) >= 1:
+                return list(path)
+            if successor in on_path or successor in visited:
+                continue
+            if successor in graph:
+                path.append(successor)
+                on_path.add(successor)
+                iterators.append(iter(graph.get(successor, ())))
+                found_next = True
+                break
+            # A node with no outgoing edges cannot be on a cycle.
+            visited.add(successor)
+        if not found_next:
+            node = path.pop()
+            on_path.discard(node)
+            visited.add(node)
+            iterators.pop()
+    return None
+
+
+def find_any_cycle(graph):
+    """Any cycle in the graph (list of transactions), or None.
+
+    Used by tests and by safety assertions; victim selection in the
+    algorithms always goes through :func:`find_cycle_containing` because
+    detection runs when a specific transaction blocks.
+    """
+    for node in graph:
+        cycle = find_cycle_containing(graph, node)
+        if cycle is not None:
+            return cycle
+    return None
+
+
+def youngest(transactions):
+    """The youngest transaction: the one that first arrived most recently.
+
+    The paper restarts "the youngest transaction in the deadlock cycle".
+    Age is the transaction's *first* submission time (kept across
+    restarts), so a repeatedly restarted transaction grows relatively
+    older and is eventually spared — this avoids starvation. Ties break
+    on transaction id (higher id = younger).
+    """
+    return max(transactions, key=lambda tx: (tx.first_submit_time, tx.id))

@@ -1,0 +1,418 @@
+"""The closed queuing model of a single-site DBMS (paper Figure 1).
+
+Transactions originate from a fixed number of terminals. At most ``mpl``
+transactions are *active* (receiving or waiting for service inside the
+DBMS) at once; excess arrivals wait in the ready queue. An active
+transaction alternates concurrency-control requests with object accesses
+(all reads first, then all writes), optionally thinks between its reads
+and writes (interactive workloads), then reaches its commit point,
+writes its deferred updates, and completes. A restarted transaction
+re-runs with the *same* read and write sets, re-entering the back of the
+ready queue after an optional restart delay.
+"""
+
+from collections import deque
+from itertools import count
+
+from repro.cc import (
+    DELAY_ADAPTIVE,
+    DELAY_NONE,
+    INSTALL_AT_PRE_COMMIT,
+    ConcurrencyControl,
+    RestartTransaction,
+    create_algorithm,
+)
+from repro.core.metrics import MetricsCollector
+from repro.core.params import (
+    ARRIVAL_OPEN,
+    DELAY_MODE_ADAPTIVE_ALL,
+    DELAY_MODE_DEFAULT,
+    DELAY_MODE_FIXED_ALL,
+    DELAY_MODE_NONE_ALL,
+)
+from repro.core.physical import PhysicalModel
+from repro.core.store import ObjectStore
+from repro.core.transaction import TxState
+from repro.core.workload import WorkloadGenerator
+from repro.des import Environment, Interrupt, StreamFactory
+
+
+class CommittedRecord:
+    """Immutable record of one committed transaction, for verification."""
+
+    __slots__ = (
+        "tx_id",
+        "read_set",
+        "write_set",
+        "installed_writes",
+        "reads_seen",
+        "serial_key",
+        "commit_time",
+        "attempts",
+    )
+
+    def __init__(self, tx, commit_point_time):
+        self.tx_id = tx.id
+        self.read_set = tuple(tx.read_set)
+        self.write_set = frozenset(tx.write_set)
+        self.installed_writes = frozenset(tx.install_write_set)
+        self.reads_seen = dict(tx.reads_seen)
+        self.serial_key = tx.serial_key
+        #: Time the commit point was reached (deferred-update I/O may
+        #: still follow; tx.commit_time records final completion).
+        self.commit_time = commit_point_time
+        self.attempts = tx.attempts
+
+
+class SystemModel:
+    """One configured instance of the complete database model.
+
+    Implements the :class:`repro.cc.EngineHooks` protocol (block counting
+    and remote aborts) for the attached algorithm.
+    """
+
+    def __init__(self, params, algorithm="blocking", seed=42,
+                 record_history=False, tracer=None, workload=None):
+        self.params = params
+        #: Optional repro.des.trace.TraceRecorder receiving transaction
+        #: lifecycle events (submit/admit/block/restart/commit).
+        self.tracer = tracer
+        self.env = Environment()
+        self.streams = StreamFactory(seed)
+        if isinstance(algorithm, ConcurrencyControl):
+            self.cc = algorithm
+        else:
+            self.cc = create_algorithm(algorithm)
+        self.cc.attach(self.env, hooks=self)
+        # Anything with a new_transaction(terminal_id) method works as a
+        # workload source; ReplayWorkload substitutes recorded traces.
+        self.workload = workload or WorkloadGenerator(params, self.streams)
+        self.physical = PhysicalModel(self.env, params, self.streams)
+        self.metrics = MetricsCollector(self.env, params, self.physical)
+        self.store = ObjectStore()
+        self.ready_queue = deque()
+        self.active_count = 0
+        #: Admission limit; starts at params.mpl. Mutable at run time so
+        #: adaptive controllers (repro.analysis.adaptive) can retune it.
+        self.mpl_limit = params.mpl
+        self.committed_history = [] if record_history else None
+        self._ts_seq = count()
+        self._same_instant_restarts = {}
+        self._int_think_rng = self.streams.stream("int_think")
+        self._restart_delay_rng = self.streams.stream("restart_delay")
+        if params.arrival_mode == ARRIVAL_OPEN:
+            self.env.process(self._open_source())
+        else:
+            for terminal_id in range(params.num_terms):
+                self.env.process(self._terminal(terminal_id))
+
+    # -- EngineHooks protocol ------------------------------------------------
+
+    def count_block(self, tx):
+        self.metrics.record_block(tx)
+        self._trace("block", tx=tx.id, attempt=tx.attempts)
+
+    def _trace(self, kind, **fields):
+        if self.tracer is not None:
+            self.tracer.record(self.env.now, kind, **fields)
+
+    def abort_remote(self, tx, error):
+        """Abort a transaction that is not waiting on a CC event.
+
+        Used by wound-wait for victims that are running, queued at a
+        resource, or thinking. Interrupting unwinds the victim's process;
+        its resource context managers release cleanly.
+        """
+        process = tx.process
+        if process is not None and process.is_alive:
+            process.interrupt(error)
+
+    # -- timestamps --------------------------------------------------------------
+
+    def next_timestamp(self):
+        """A unique, strictly increasing (time, sequence) timestamp."""
+        return (self.env.now, next(self._ts_seq))
+
+    # -- terminals and admission control --------------------------------------------
+
+    def _terminal(self, terminal_id):
+        """One terminal: think, submit, wait for completion, repeat."""
+        rng = self.streams.stream(f"terminal.{terminal_id}")
+        # Initial stagger so 200 terminals do not fire simultaneously at t=0.
+        yield self.env.timeout(rng.exponential(self.params.ext_think_time))
+        while True:
+            tx = self.workload.new_transaction(terminal_id)
+            tx.done_event = self.env.event()
+            tx.first_submit_time = self.env.now
+            tx.priority_ts = self.next_timestamp()
+            self._enqueue_ready(tx)
+            yield tx.done_event
+            yield self.env.timeout(
+                rng.exponential(self.params.ext_think_time)
+            )
+
+    def _open_source(self):
+        """Open-system source: Poisson arrivals at ``arrival_rate``.
+
+        Replaces the terminal population. Nobody waits on completion,
+        so the ready queue grows without bound when the offered load
+        exceeds the system's capacity — which is exactly the behavior
+        an open model exposes and a closed model hides.
+        """
+        rng = self.streams.stream("open_arrivals")
+        mean_interarrival = 1.0 / self.params.arrival_rate
+        while True:
+            yield self.env.timeout(rng.exponential(mean_interarrival))
+            tx = self.workload.new_transaction(terminal_id=0)
+            tx.done_event = self.env.event()  # succeeds unobserved
+            tx.first_submit_time = self.env.now
+            tx.priority_ts = self.next_timestamp()
+            self._enqueue_ready(tx)
+
+    def _enqueue_ready(self, tx):
+        """Append to the back of the ready queue and admit if possible."""
+        tx.state = TxState.READY
+        self.ready_queue.append(tx)
+        self.metrics.ready_queue_level.add(1)
+        if tx.attempts == 0:
+            self._trace("submit", tx=tx.id, terminal=tx.terminal_id,
+                        reads=len(tx.read_set), writes=len(tx.write_set))
+        self._try_admit()
+
+    def _try_admit(self):
+        while self.ready_queue and self.active_count < self.mpl_limit:
+            tx = self.ready_queue.popleft()
+            self.metrics.ready_queue_level.add(-1)
+            self._start_attempt(tx)
+
+    def _start_attempt(self, tx):
+        self.active_count += 1
+        self.metrics.active_level.add(1)
+        tx.begin_attempt(self.env.now, self.next_timestamp())
+        self._assign_cc_units(tx)
+        self.cc.begin(tx)
+        self._trace("admit", tx=tx.id, attempt=tx.attempts)
+        tx.process = self.env.process(self._execute(tx))
+
+    def _leave_active(self, tx):
+        self.active_count -= 1
+        self.metrics.active_level.add(-1)
+        self._try_admit()
+
+    # -- transaction execution --------------------------------------------------
+
+    def _assign_cc_units(self, tx):
+        """Map the read/write sets onto concurrency-control units.
+
+        Object-level CC (the paper's setting) is the identity; with
+        ``lock_granules`` set, objects collapse onto granules and the
+        algorithms see granule ids everywhere — the Ries-style
+        granularity trade-off.
+        """
+        params = self.params
+        if params.lock_granules is None:
+            tx.cc_read_set = tx.read_set
+            tx.cc_write_set = tx.write_set
+            return
+        seen = []
+        for obj in tx.read_set:
+            unit = params.cc_unit_of(obj)
+            if unit not in seen:
+                seen.append(unit)
+        tx.cc_read_set = tuple(seen)
+        tx.cc_write_set = frozenset(
+            params.cc_unit_of(obj) for obj in tx.write_set
+        )
+
+    def _execute(self, tx):
+        """One attempt: reads, (think,) writes, commit point, updates."""
+        cc_unit = self.params.cc_unit_of
+        try:
+            for obj in tx.read_set:
+                yield from self._cc_request(
+                    tx, self.cc.read_request, cc_unit(obj)
+                )
+                version = self.store.read(
+                    obj, self.cc.reader_version_key(tx)
+                )
+                tx.reads_seen[obj] = version.writer_id
+                yield from self.physical.read_access(tx)
+
+            if self.params.int_think_time > 0.0:
+                tx.state = TxState.THINKING
+                yield self.env.timeout(
+                    self._int_think_rng.exponential(
+                        self.params.int_think_time
+                    )
+                )
+                tx.state = TxState.RUNNING
+
+            for obj in self._write_order(tx):
+                yield from self._cc_request(
+                    tx, self.cc.write_request, cc_unit(obj)
+                )
+                yield from self.physical.write_request_work(tx)
+
+            # The commit point: validation (a concurrency-control request).
+            yield from self.physical.cc_request_work(tx)
+            event = self.cc.pre_commit(tx)
+            if event is not None:
+                tx.state = TxState.BLOCKED
+                yield event
+                tx.state = TxState.RUNNING
+            tx.serial_key = self.cc.serial_key(tx) or self.next_timestamp()
+            if tx.to_skipped_writes:
+                # Thomas-rule skips are expressed in CC units; filter
+                # the object-level writes they cover.
+                tx.install_write_set = frozenset(
+                    obj for obj in tx.write_set
+                    if cc_unit(obj) not in tx.to_skipped_writes
+                )
+            if self.cc.install_at == INSTALL_AT_PRE_COMMIT:
+                self._install_writes(tx)
+            tx.state = TxState.COMMITTING
+
+            for _ in tx.install_write_set:
+                yield from self.physical.deferred_update(tx)
+            if self.cc.install_at != INSTALL_AT_PRE_COMMIT:
+                self._install_writes(tx)
+            self.cc.finalize_commit(tx)
+            self._complete_commit(tx)
+        except RestartTransaction as error:
+            self._handle_restart(tx, error)
+        except Interrupt as interrupt:
+            cause = interrupt.cause
+            if not isinstance(cause, RestartTransaction):
+                raise
+            self._handle_restart(tx, cause)
+
+    def _cc_request(self, tx, request_method, obj):
+        """Issue one CC request, waiting (possibly repeatedly) as needed.
+
+        Re-issues the request after each wait so algorithms with
+        re-check semantics (basic TO readers waiting on prewrites) are
+        driven correctly; lock-based algorithms return "granted" on the
+        re-issue immediately.
+        """
+        yield from self.physical.cc_request_work(tx)
+        while True:
+            event = request_method(tx, obj)
+            if event is None:
+                return
+            tx.state = TxState.BLOCKED
+            yield event
+            tx.state = TxState.RUNNING
+
+    def _write_order(self, tx):
+        """Write objects in read-set order (deterministic replay order)."""
+        return [obj for obj in tx.read_set if obj in tx.write_set]
+
+    def _install_writes(self, tx):
+        """Atomically install the transaction's writes at its commit point,
+        and record the commit in the verification history.
+
+        Recording here — rather than at completion — keeps the history
+        and the object store consistent under any run cutoff: once a
+        transaction's writes are installed it can no longer abort, even
+        though its deferred-update I/O may still be in flight when the
+        simulation clock stops.
+        """
+        for obj in tx.install_write_set:
+            self.store.install(obj, tx.serial_key, tx.id, self.env.now)
+        if self.committed_history is not None:
+            self.committed_history.append(
+                CommittedRecord(tx, commit_point_time=self.env.now)
+            )
+
+    # -- completion and restarts ----------------------------------------------------
+
+    def _complete_commit(self, tx):
+        tx.state = TxState.COMMITTED
+        tx.commit_time = self.env.now
+        self._trace("commit", tx=tx.id, attempt=tx.attempts,
+                    response=tx.response_time())
+        self.metrics.record_commit(tx)
+        self.physical.charge_attempt(tx, useful=True)
+        self._leave_active(tx)
+        tx.done_event.succeed()
+
+    #: Consecutive zero-delay restarts of one transaction at one instant
+    #: that we treat as a livelock (a misconfiguration: restart-oriented
+    #: conflicts with no delay re-occur forever without advancing time —
+    #: the exact pathology the paper's restart delay exists to prevent).
+    ZERO_DELAY_RESTART_LIMIT = 1000
+
+    def _handle_restart(self, tx, error):
+        self.cc.abort(tx)
+        self.physical.charge_attempt(tx, useful=False)
+        self._trace("restart", tx=tx.id, attempt=tx.attempts,
+                    reason=error.reason)
+        self.metrics.record_restart(tx, error.reason)
+        self._leave_active(tx)
+        delay = self._sample_restart_delay()
+        if delay > 0.0:
+            tx.state = TxState.RESTART_DELAY
+            self.env.process(self._delayed_resubmit(tx, delay))
+        else:
+            self._check_restart_livelock(tx)
+            self._enqueue_ready(tx)
+
+    def _check_restart_livelock(self, tx):
+        if tx.attempt_start_time == self.env.now:
+            self._same_instant_restarts[tx.id] = (
+                self._same_instant_restarts.get(tx.id, 0) + 1
+            )
+            if (self._same_instant_restarts[tx.id]
+                    >= self.ZERO_DELAY_RESTART_LIMIT):
+                raise RuntimeError(
+                    f"transaction {tx.id} restarted "
+                    f"{self._same_instant_restarts[tx.id]} times at "
+                    f"t={self.env.now:.6f} with no restart delay: the "
+                    "same conflict re-occurs without simulated time "
+                    "advancing. Use an adaptive or fixed restart delay "
+                    "for restart-oriented algorithms (see the paper's "
+                    "discussion of the immediate-restart delay)."
+                )
+        else:
+            self._same_instant_restarts.pop(tx.id, None)
+
+    def _delayed_resubmit(self, tx, delay):
+        yield self.env.timeout(delay)
+        self._enqueue_ready(tx)
+
+    def _sample_restart_delay(self):
+        """Restart delay per the configured mode and algorithm policy.
+
+        The adaptive policy is the paper's: exponential with mean equal
+        to the running-average response time, "so that the conflicting
+        transaction can complete before the restarted transaction is
+        placed back into the ready queue".
+        """
+        mode = self.params.restart_delay_mode
+        if mode == DELAY_MODE_DEFAULT:
+            policy = self.cc.default_restart_delay
+        elif mode == DELAY_MODE_ADAPTIVE_ALL:
+            policy = DELAY_ADAPTIVE
+        elif mode == DELAY_MODE_NONE_ALL:
+            policy = DELAY_NONE
+        else:  # DELAY_MODE_FIXED_ALL
+            return self._restart_delay_rng.exponential(
+                self.params.restart_delay
+            )
+        if policy == DELAY_NONE:
+            return 0.0
+        return self._restart_delay_rng.exponential(
+            self.metrics.avg_response.value
+        )
+
+    # -- run control ------------------------------------------------------------
+
+    def run_until(self, when):
+        """Advance the simulation clock to ``when``."""
+        self.env.run(until=when)
+
+    def __repr__(self):
+        return (
+            f"<SystemModel cc={self.cc.name} mpl={self.params.mpl} "
+            f"t={self.env.now:.3f}>"
+        )

@@ -1,0 +1,192 @@
+"""Metrics collection: the output variables the paper's figures plot.
+
+Per-batch values are produced by snapshot/delta over cumulative
+accumulators, feeding :class:`repro.stats.BatchMeansAnalyzer`:
+
+* ``throughput`` — commits per second (Figures 3-5, 8, 11, 12, 14, 16,
+  18, 20);
+* ``response_time`` mean and standard deviation (Figures 7, 10);
+* ``block_ratio`` / ``restart_ratio`` — blocks/restarts per commit
+  (Figure 6);
+* total and useful disk (and CPU) utilization (Figures 9, 13, 15, 17,
+  19, 21);
+* observed average multiprogramming level (the paper's discussion of the
+  restart delay as a crude mpl limiter).
+"""
+
+from repro.des import Counter, LevelMonitor
+from repro.stats import P2Quantile, Welford
+
+
+class RunningAverage:
+    """Cumulative running average (the adaptive restart-delay input).
+
+    The paper sets the adaptive restart delay's mean to "the running
+    average of the transaction response time"; before the first commit
+    an analytic estimate seeds the average.
+    """
+
+    __slots__ = ("_sum", "_count", "initial_estimate")
+
+    def __init__(self, initial_estimate):
+        self._sum = 0.0
+        self._count = 0
+        self.initial_estimate = initial_estimate
+
+    def observe(self, value):
+        self._sum += value
+        self._count += 1
+
+    @property
+    def value(self):
+        if self._count == 0:
+            return self.initial_estimate
+        return self._sum / self._count
+
+
+class MetricsCollector:
+    """All cumulative instruments for one simulation run."""
+
+    def __init__(self, env, params, physical):
+        self.env = env
+        self.physical = physical
+        self.commits = Counter("commits")
+        self.restarts = Counter("restarts")
+        self.blocks = Counter("blocks")
+        self.restart_reasons = {}
+        #: class name -> {"commits", "restarts", response Welford}; only
+        #: populated for multiclass workloads.
+        self.per_class = {}
+        self.response_times = Welford()
+        # Streaming percentiles over the whole run (the paper stresses
+        # immediate-restart's response-time variability; tails complete
+        # the picture the std dev starts).
+        self.response_p50 = P2Quantile(0.50)
+        self.response_p95 = P2Quantile(0.95)
+        self.active_level = LevelMonitor(env, "active_transactions")
+        self.ready_queue_level = LevelMonitor(env, "ready_queue")
+        self.avg_response = RunningAverage(params.expected_service_time())
+
+    # -- recording hooks (called by the engine) --------------------------------
+
+    def record_commit(self, tx):
+        self.commits.increment()
+        response = tx.response_time()
+        self.response_times.add(response)
+        self.response_p50.add(response)
+        self.response_p95.add(response)
+        self.avg_response.observe(response)
+        if tx.tx_class is not None:
+            stats = self._class_stats(tx.tx_class)
+            stats["commits"] += 1
+            stats["response"].add(response)
+
+    def record_restart(self, tx, reason):
+        self.restarts.increment()
+        self.restart_reasons[reason] = self.restart_reasons.get(reason, 0) + 1
+        if tx.tx_class is not None:
+            self._class_stats(tx.tx_class)["restarts"] += 1
+
+    def _class_stats(self, name):
+        stats = self.per_class.get(name)
+        if stats is None:
+            stats = self.per_class[name] = {
+                "commits": 0,
+                "restarts": 0,
+                "response": Welford(),
+            }
+        return stats
+
+    def per_class_summary(self, elapsed):
+        """Per-class throughput/response/restart summary over ``elapsed``."""
+        return {
+            name: {
+                "throughput": stats["commits"] / elapsed if elapsed else 0.0,
+                "commits": stats["commits"],
+                "restarts": stats["restarts"],
+                "restart_ratio": (
+                    stats["restarts"] / stats["commits"]
+                    if stats["commits"] else 0.0
+                ),
+                "response_mean": stats["response"].mean,
+                "response_std": stats["response"].std,
+            }
+            for name, stats in self.per_class.items()
+        }
+
+    def record_block(self, tx):
+        self.blocks.increment()
+
+    # -- batch snapshot/delta ---------------------------------------------------
+
+    def snapshot(self):
+        """Opaque marker of cumulative state at a batch boundary."""
+        return _Snapshot(self)
+
+    def batch_values(self, snapshot):
+        """Per-batch output variables over [snapshot, now]."""
+        now = self.env.now
+        elapsed = now - snapshot.time
+        if elapsed <= 0.0:
+            raise ValueError("empty batch window")
+        commits = self.commits.total - snapshot.commits
+        restarts = self.restarts.total - snapshot.restarts
+        blocks = self.blocks.total - snapshot.blocks
+        response_delta = self.response_times.delta_since(
+            snapshot.response_times
+        )
+        cpu = self.physical.cpu_tracker
+        disk = self.physical.disk_tracker
+        return {
+            "throughput": commits / elapsed,
+            "commits": float(commits),
+            "response_time": response_delta.mean,
+            "response_time_std": response_delta.std,
+            "restart_ratio": restarts / commits if commits else 0.0,
+            "block_ratio": blocks / commits if commits else 0.0,
+            "cpu_util": cpu.utilization(snapshot.cpu_busy, snapshot.time),
+            "cpu_util_useful": cpu.useful_utilization(
+                snapshot.cpu_useful, snapshot.time
+            ),
+            "disk_util": disk.utilization(snapshot.disk_busy, snapshot.time),
+            "disk_util_useful": disk.useful_utilization(
+                snapshot.disk_useful, snapshot.time
+            ),
+            "avg_active": self.active_level.window_average(
+                snapshot.active_area, snapshot.time
+            ),
+            "avg_ready_queue": self.ready_queue_level.window_average(
+                snapshot.ready_area, snapshot.time
+            ),
+        }
+
+
+class _Snapshot:
+    """Cumulative counter values at a batch boundary."""
+
+    __slots__ = (
+        "time",
+        "commits",
+        "restarts",
+        "blocks",
+        "response_times",
+        "cpu_busy",
+        "cpu_useful",
+        "disk_busy",
+        "disk_useful",
+        "active_area",
+        "ready_area",
+    )
+
+    def __init__(self, metrics):
+        self.time = metrics.env.now
+        self.commits = metrics.commits.total
+        self.restarts = metrics.restarts.total
+        self.blocks = metrics.blocks.total
+        self.response_times = metrics.response_times.snapshot()
+        self.cpu_busy = metrics.physical.cpu_tracker.busy_area()
+        self.cpu_useful = metrics.physical.cpu_tracker.useful_time
+        self.disk_busy = metrics.physical.disk_tracker.busy_area()
+        self.disk_useful = metrics.physical.disk_tracker.useful_time
+        self.active_area = metrics.active_level.area()
+        self.ready_area = metrics.ready_queue_level.area()

@@ -1,0 +1,115 @@
+"""The physical queuing model (paper Figure 2).
+
+A pool of identical CPU servers drains one global queue FCFS, except that
+concurrency-control requests have priority over all other CPU requests.
+The database is partitioned across the disks: each object access selects
+a disk uniformly at random and waits in that disk's FCFS queue. With
+``num_cpus``/``num_disks`` of None the corresponding resource is
+infinite: service takes the nominal time with no queueing.
+
+Service consumption is charged to the requesting transaction attempt
+(``attempt_cpu_time`` / ``attempt_disk_time``); the engine classifies
+those amounts as useful or wasted when the attempt commits or aborts,
+which produces the paper's total vs. useful utilization curves. If an
+attempt is aborted mid-service (wound-wait), only the time actually
+consumed is charged.
+"""
+
+from repro.des import BusyTracker, InfiniteResource, Resource
+
+#: CPU queue priority classes: CC requests beat object processing.
+CC_PRIORITY = 0
+OBJECT_PRIORITY = 1
+
+
+class PhysicalModel:
+    """CPU pool + partitioned disks, with utilization accounting."""
+
+    def __init__(self, env, params, streams):
+        self.env = env
+        self.params = params
+        self._disk_rng = streams.stream("physical.disk_choice")
+
+        if params.num_cpus is None:
+            self.cpu = InfiniteResource(env)
+            cpu_capacity = float("inf")
+        else:
+            self.cpu = Resource(env, capacity=params.num_cpus)
+            cpu_capacity = params.num_cpus
+
+        if params.num_disks is None:
+            self.disks = [InfiniteResource(env)]
+            disk_capacity = float("inf")
+        else:
+            self.disks = [
+                Resource(env, capacity=1) for _ in range(params.num_disks)
+            ]
+            disk_capacity = params.num_disks
+
+        self.cpu_tracker = BusyTracker(env, "cpu", cpu_capacity)
+        self.disk_tracker = BusyTracker(env, "disk", disk_capacity)
+
+    # -- service primitives -------------------------------------------------
+    #
+    # Each returns a generator to be driven with ``yield from`` inside a
+    # transaction process. They are interrupt-safe: on abort mid-service
+    # the partial service time is still charged and the server released.
+
+    def cpu_service(self, tx, amount, priority=OBJECT_PRIORITY):
+        """Hold one CPU server for ``amount`` seconds."""
+        if amount <= 0.0:
+            return
+        with self.cpu.request(priority=priority) as request:
+            yield request
+            self.cpu_tracker.acquire()
+            start = self.env.now
+            try:
+                yield self.env.timeout(amount)
+            finally:
+                self.cpu_tracker.release()
+                tx.attempt_cpu_time += self.env.now - start
+
+    def disk_service(self, tx, amount):
+        """Hold a uniformly chosen disk for ``amount`` seconds."""
+        if amount <= 0.0:
+            return
+        disk = self.disks[self._disk_rng.uniform_int(0, len(self.disks) - 1)]
+        with disk.request() as request:
+            yield request
+            self.disk_tracker.acquire()
+            start = self.env.now
+            try:
+                yield self.env.timeout(amount)
+            finally:
+                self.disk_tracker.release()
+                tx.attempt_disk_time += self.env.now - start
+
+    # -- model-level composites -----------------------------------------------
+
+    def read_access(self, tx):
+        """Read one object: obj_io of disk, then obj_cpu of CPU."""
+        yield from self.disk_service(tx, self.params.obj_io)
+        yield from self.cpu_service(tx, self.params.obj_cpu)
+
+    def write_request_work(self, tx):
+        """CPU work at write-request time (updates are deferred)."""
+        yield from self.cpu_service(tx, self.params.obj_cpu)
+
+    def deferred_update(self, tx):
+        """Write one deferred update to disk at commit time."""
+        yield from self.disk_service(tx, self.params.obj_io)
+
+    def cc_request_work(self, tx):
+        """CPU work for one concurrency-control request (priority class).
+
+        Zero in the paper's parameter tables, so this is a no-op unless
+        ``cc_cpu`` is set.
+        """
+        yield from self.cpu_service(tx, self.params.cc_cpu, CC_PRIORITY)
+
+    # -- attempt outcome accounting ----------------------------------------------
+
+    def charge_attempt(self, tx, useful):
+        """Classify the attempt's consumed service time by outcome."""
+        self.cpu_tracker.record_outcome(tx.attempt_cpu_time, useful)
+        self.disk_tracker.record_outcome(tx.attempt_disk_time, useful)

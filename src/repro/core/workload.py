@@ -1,0 +1,110 @@
+"""Transaction generation per the paper's workload model.
+
+A transaction reads ``N ~ Uniform[min_size, max_size]`` distinct objects
+chosen uniformly without replacement from the ``db_size`` objects; each
+read object is also written with probability ``write_prob``.
+"""
+
+from itertools import count
+
+from repro.core.transaction import Transaction
+
+
+class WorkloadGenerator:
+    """Draws new transactions from seeded random streams."""
+
+    def __init__(self, params, streams):
+        self.params = params
+        self._size_rng = streams.stream("workload.size")
+        self._objects_rng = streams.stream("workload.objects")
+        self._write_rng = streams.stream("workload.writes")
+        self._class_rng = streams.stream("workload.class")
+        self._ids = count(1)
+        self.generated = 0
+        if params.workload_mix is not None:
+            self._class_weights = [
+                cls.weight for cls in params.workload_mix
+            ]
+            self._total_weight = sum(self._class_weights)
+        else:
+            self._class_weights = None
+
+    def _draw_class(self):
+        """Weighted class choice, or None for the single-class model."""
+        if self._class_weights is None:
+            return None
+        pick = self._class_rng.random() * self._total_weight
+        cumulative = 0.0
+        for cls, weight in zip(
+            self.params.workload_mix, self._class_weights
+        ):
+            cumulative += weight
+            if pick < cumulative:
+                return cls
+        return self.params.workload_mix[-1]
+
+    def new_transaction(self, terminal_id):
+        """A fresh transaction for ``terminal_id``."""
+        params = self.params
+        tx_class = self._draw_class()
+        if tx_class is None:
+            min_size, max_size = params.min_size, params.max_size
+            write_prob = params.write_prob
+        else:
+            min_size, max_size = tx_class.min_size, tx_class.max_size
+            write_prob = tx_class.write_prob
+        size = self._size_rng.uniform_int(min_size, max_size)
+        if params.has_hotspot:
+            read_set = self._skewed_read_set(size)
+        else:
+            read_set = self._objects_rng.sample_without_replacement(
+                params.db_size, size
+            )
+        write_set = [
+            obj
+            for obj in read_set
+            if self._write_rng.bernoulli(write_prob)
+        ]
+        self.generated += 1
+        tx = Transaction(
+            tx_id=next(self._ids),
+            terminal_id=terminal_id,
+            read_set=read_set,
+            write_set=write_set,
+        )
+        tx.tx_class = tx_class.name if tx_class is not None else None
+        return tx
+
+    def _skewed_read_set(self, size):
+        """Draw ``size`` distinct objects under the hotspot skew.
+
+        Each access independently targets the hot region (the first
+        ``hot_object_count`` objects) with probability
+        ``hot_access_prob``; per region, objects are drawn uniformly
+        without replacement. If one region cannot supply its share of
+        distinct objects the overflow spills into the other.
+        """
+        params = self.params
+        hot_size = params.hot_object_count()
+        cold_size = params.db_size - hot_size
+        hot_wanted = sum(
+            self._objects_rng.bernoulli(params.hot_access_prob)
+            for _ in range(size)
+        )
+        hot_wanted = min(hot_wanted, hot_size)
+        cold_wanted = size - hot_wanted
+        if cold_wanted > cold_size:  # spill back into the hot region
+            hot_wanted += cold_wanted - cold_size
+            cold_wanted = cold_size
+        hot_objects = self._objects_rng.sample_without_replacement(
+            hot_size, hot_wanted
+        )
+        cold_objects = [
+            hot_size + obj
+            for obj in self._objects_rng.sample_without_replacement(
+                cold_size, cold_wanted
+            )
+        ]
+        read_set = hot_objects + cold_objects
+        self._objects_rng.shuffle(read_set)
+        return read_set

@@ -1,0 +1,128 @@
+"""The simulation environment: clock, event queue, and run loop."""
+
+import heapq
+from itertools import count
+
+from repro.des.errors import EmptySchedule, StopSimulation
+from repro.des.events import NORMAL, AllOf, AnyOf, Event, Timeout
+from repro.des.process import Process
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Time is a float starting at ``initial_time``; it advances only when the
+    run loop pops an event scheduled later than ``now``. Events at the same
+    time are processed in (priority, insertion order), which makes runs
+    deterministic for a fixed seed.
+    """
+
+    def __init__(self, initial_time=0.0):
+        self._now = initial_time
+        self._queue = []
+        self._eid = count()
+        self._active_process = None
+
+    @property
+    def now(self):
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently executing, if any (for interrupts/debug)."""
+        return self._active_process
+
+    # -- event construction helpers ------------------------------------
+
+    def event(self):
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """An event that fires after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator):
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events):
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        return AnyOf(self, events)
+
+    # -- scheduling and the run loop ------------------------------------
+
+    def schedule(self, event, priority=NORMAL, delay=0.0):
+        """Queue ``event`` to be processed after ``delay`` time units."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self):
+        """Time of the next scheduled event (inf if none)."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self):
+        """Process exactly one event."""
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no more events") from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failed event nobody waited on: surface the error rather
+            # than losing it.
+            raise event._value
+
+    def run(self, until=None):
+        """Run until ``until`` (a time or an Event) or until no events remain.
+
+        * ``until is None`` — run the queue dry.
+        * ``until`` is a number — run events strictly before that time,
+          then set ``now`` to it.
+        * ``until`` is an :class:`Event` — run until that event is
+          processed and return its value.
+        """
+        stop_event = None
+        if until is None:
+            deadline = float("inf")
+        elif isinstance(until, Event):
+            stop_event = until
+            deadline = float("inf")
+            if stop_event.processed:
+                return stop_event.value
+
+            def _stop(event):
+                raise StopSimulation(event)
+
+            stop_event.callbacks.append(_stop)
+        else:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(
+                    f"until ({deadline}) must not be before now ({self._now})"
+                )
+        try:
+            while self._queue:
+                if self._queue[0][0] >= deadline:
+                    break
+                self.step()
+        except StopSimulation as stop:
+            event = stop.value
+            event._defused = True
+            return event.value
+        if stop_event is not None:
+            raise RuntimeError(
+                "run() finished without the until-event being processed"
+            )
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

@@ -1,0 +1,31 @@
+"""Exception types for the discrete-event simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for kernel-level errors."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Thrown into the run loop to end :meth:`Environment.run` early."""
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    ``cause`` is the arbitrary object passed to :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+
+    @property
+    def cause(self):
+        return self.args[0]

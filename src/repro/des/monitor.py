@@ -1,0 +1,133 @@
+"""Measurement instruments bound to a simulation environment.
+
+Thin adapters over :mod:`repro.stats` that read the clock from an
+:class:`~repro.des.environment.Environment`, so model code records
+observations without passing ``now`` around.
+"""
+
+from repro.stats.timeweighted import TimeWeighted
+from repro.stats.welford import Welford
+
+
+class Counter:
+    """A monotonically increasing event counter with snapshot/delta."""
+
+    __slots__ = ("name", "total")
+
+    def __init__(self, name):
+        self.name = name
+        self.total = 0
+
+    def increment(self, amount=1):
+        self.total += amount
+
+    def delta_since(self, earlier_total):
+        return self.total - earlier_total
+
+    def __repr__(self):
+        return f"Counter({self.name!r}, total={self.total})"
+
+
+class Tally(Welford):
+    """A named Welford accumulator for per-observation statistics."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        super().__init__()
+        self.name = name
+
+    def __repr__(self):
+        return f"Tally({self.name!r}, {super().__repr__()})"
+
+
+class LevelMonitor:
+    """Tracks a time-weighted level (queue length, population, busy servers).
+
+    Reads the clock from the environment, so updates are one-argument.
+    """
+
+    def __init__(self, env, name, initial=0.0):
+        self.env = env
+        self.name = name
+        self._tw = TimeWeighted(initial=initial, start_time=env.now)
+
+    @property
+    def value(self):
+        return self._tw.value
+
+    def set(self, value):
+        self._tw.update(value, self.env.now)
+
+    def add(self, delta):
+        self._tw.add(delta, self.env.now)
+
+    def area(self):
+        """Time integral of the level up to now."""
+        return self._tw.area(self.env.now)
+
+    def time_average(self):
+        return self._tw.time_average(self.env.now)
+
+    def window_average(self, area_at_start, window_start):
+        return self._tw.window_average(
+            area_at_start, window_start, self.env.now
+        )
+
+    def __repr__(self):
+        return f"LevelMonitor({self.name!r}, value={self.value!r})"
+
+
+class BusyTracker:
+    """Accumulates server busy-time for a resource pool.
+
+    ``total_busy`` integrates busy-server-seconds. Model code additionally
+    classifies consumed service time as *useful* or *wasted* when each
+    transaction attempt resolves (commit vs. restart), which yields the
+    paper's total and useful utilization curves.
+    """
+
+    def __init__(self, env, name, capacity):
+        self.env = env
+        self.name = name
+        self.capacity = capacity
+        self._busy = LevelMonitor(env, f"{name}.busy", initial=0.0)
+        self.useful_time = 0.0
+        self.wasted_time = 0.0
+
+    def acquire(self):
+        self._busy.add(1)
+
+    def release(self):
+        self._busy.add(-1)
+
+    def record_outcome(self, service_time, useful):
+        """Attribute ``service_time`` of consumed service to an outcome."""
+        if useful:
+            self.useful_time += service_time
+        else:
+            self.wasted_time += service_time
+
+    def busy_area(self):
+        """Busy-server-seconds accumulated so far."""
+        return self._busy.area()
+
+    def utilization(self, busy_area_at_start, window_start):
+        """Mean fraction of servers busy over [window_start, now]."""
+        elapsed = self.env.now - window_start
+        if elapsed <= 0.0 or not self.capacity:
+            return 0.0
+        if self.capacity == float("inf"):
+            return 0.0
+        area = self._busy.area() - busy_area_at_start
+        return area / (elapsed * self.capacity)
+
+    def useful_utilization(self, useful_at_start, window_start):
+        """Fraction of server capacity spent on work that committed."""
+        elapsed = self.env.now - window_start
+        if elapsed <= 0.0 or not self.capacity:
+            return 0.0
+        if self.capacity == float("inf"):
+            return 0.0
+        useful = self.useful_time - useful_at_start
+        return useful / (elapsed * self.capacity)

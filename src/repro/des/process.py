@@ -1,0 +1,125 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields events. When the yielded event
+fires, the process resumes with the event's value (``x = yield ev``), or the
+event's exception is thrown into it. A :class:`Process` is itself an event
+that fires when the generator returns, so processes can wait on each other
+(``result = yield env.process(child())``).
+"""
+
+from types import GeneratorType
+
+from repro.des.errors import Interrupt
+from repro.des.events import URGENT, Event
+
+
+class Initialize(Event):
+    """Kernel event that starts a process on the next queue step."""
+
+    __slots__ = ()
+
+    def __init__(self, env, process):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env.schedule(self, URGENT)
+
+
+class Process(Event):
+    """A running generator; fires (as an event) with the generator's return.
+
+    If the generator raises, the process fails with that exception; the
+    failure propagates to waiters, or to the run loop if nobody waits —
+    errors never pass silently.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env, generator, name=None):
+        if not isinstance(generator, GeneratorType):
+            raise TypeError(
+                f"process body must be a generator, got {generator!r}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._target = None
+        self.name = name or generator.__name__
+        Initialize(env, self)
+
+    @property
+    def is_alive(self):
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self):
+        """The event this process is currently waiting on (None if running)."""
+        return self._target
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process as soon as possible.
+
+        The interrupt is delivered via an urgent event so it cannot race
+        ahead of the current callback cascade. Interrupting a finished
+        process is an error.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self} has already terminated")
+        interrupt_event = Event(self.env)
+        interrupt_event._defused = True
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.callbacks.append(self._deliver_interrupt)
+        self.env.schedule(interrupt_event, URGENT)
+
+    def _deliver_interrupt(self, event):
+        if self.triggered:
+            return  # process finished before the interrupt was delivered
+        # Detach from whatever we were waiting on, then resume with failure.
+        if self._target is not None and not self._target.processed:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._resume(event)
+
+    def _resume(self, event):
+        env = self.env
+        env._active_process = self
+        while True:
+            self._target = None
+            try:
+                if event._ok:
+                    next_target = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                env._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as error:
+                env._active_process = None
+                self.fail(error)
+                return
+            if not isinstance(next_target, Event):
+                env._active_process = None
+                self.fail(
+                    TypeError(
+                        f"process {self.name!r} yielded a non-event: "
+                        f"{next_target!r}"
+                    )
+                )
+                return
+            if next_target.processed:
+                # Already fired and delivered: resume immediately in-line.
+                event = next_target
+                continue
+            next_target.callbacks.append(self._resume)
+            self._target = next_target
+            break
+        env._active_process = None
+
+    def __repr__(self):
+        return f"<Process {self.name!r} at {id(self):#x}>"

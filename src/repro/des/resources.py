@@ -1,0 +1,182 @@
+"""Shared resources: multi-server pools with FCFS/priority queueing, stores.
+
+These map directly onto the paper's physical queuing model: the CPU pool is
+one :class:`Resource` with ``capacity = num_cpus`` and a single global queue
+(concurrency-control requests enter with a higher priority class); each disk
+is a ``capacity=1`` :class:`Resource` with its own queue.
+"""
+
+from heapq import heapify, heappop, heappush
+from itertools import count
+
+from repro.des.events import Event
+
+
+class Request(Event):
+    """A pending claim on a resource; fires when the claim is granted.
+
+    Supports the context-manager idiom so releases cannot be leaked::
+
+        with resource.request() as req:
+            yield req
+            yield env.timeout(service_time)
+        # released here, even if the process is interrupted
+    """
+
+    __slots__ = ("resource", "priority")
+
+    def __init__(self, resource, priority=0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.resource.release(self)
+        return False
+
+    def cancel(self):
+        """Withdraw an ungranted request (alias for release)."""
+        self.resource.release(self)
+
+
+class Resource:
+    """A pool of ``capacity`` identical servers with one queue.
+
+    Queued requests are granted in (priority, arrival) order: lower
+    ``priority`` values are served first; ties are FCFS. This implements
+    both plain FCFS (all priorities equal) and the paper's rule that
+    concurrency-control requests have priority over other CPU requests.
+    """
+
+    def __init__(self, env, capacity=1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users = set()
+        self._queue = []
+        self._order = count()
+
+    @property
+    def in_use(self):
+        """Number of servers currently held."""
+        return len(self.users)
+
+    @property
+    def queue_length(self):
+        """Number of requests waiting for a server."""
+        return len(self._queue)
+
+    def request(self, priority=0):
+        """Claim a server; the returned event fires when one is assigned."""
+        req = Request(self, priority)
+        if len(self.users) < self.capacity and not self._queue:
+            self.users.add(req)
+            req.succeed(req)
+        else:
+            heappush(self._queue, (priority, next(self._order), req))
+        return req
+
+    def release(self, request):
+        """Return a server to the pool (or withdraw a queued request).
+
+        Releasing is idempotent: releasing a request that is neither held
+        nor queued is a no-op, which makes context-manager cleanup safe
+        after an interrupt-triggered early release.
+        """
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            self._discard_queued(request)
+
+    def _discard_queued(self, request):
+        for index, (_, _, queued) in enumerate(self._queue):
+            if queued is request:
+                self._queue.pop(index)
+                # heappop-less removal breaks the heap invariant; restore it.
+                heapify(self._queue)
+                return
+
+    def _grant_next(self):
+        while self._queue and len(self.users) < self.capacity:
+            _, _, req = heappop(self._queue)
+            if req.triggered:
+                continue  # withdrawn or failed while queued
+            self.users.add(req)
+            req.succeed(req)
+
+
+class InfiniteResource:
+    """A resource with unbounded servers: every request granted instantly.
+
+    Models the paper's "infinite resources" assumption — transactions
+    never wait for CPU or I/O service. Mirrors the :class:`Resource` API
+    so the physical layer can swap it in transparently.
+    """
+
+    capacity = float("inf")
+
+    def __init__(self, env):
+        self.env = env
+        self.users = set()
+
+    @property
+    def in_use(self):
+        return len(self.users)
+
+    @property
+    def queue_length(self):
+        return 0
+
+    def request(self, priority=0):
+        req = Request(self, priority)
+        self.users.add(req)
+        req.succeed(req)
+        return req
+
+    def release(self, request):
+        self.users.discard(request)
+
+
+class Store:
+    """An unbounded FIFO buffer of items with blocking ``get``.
+
+    Used for simple producer/consumer hand-offs (e.g. admission control
+    feeding the ready queue into the active set).
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self._items = []
+        self._getters = []
+
+    @property
+    def items(self):
+        """Snapshot of buffered items (read-only view by convention)."""
+        return list(self._items)
+
+    def __len__(self):
+        return len(self._items)
+
+    def put(self, item):
+        """Add ``item``; wakes the oldest blocked getter, if any."""
+        self._items.append(item)
+        self._dispatch()
+
+    def get(self):
+        """Event that fires with the oldest item once one is available."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self):
+        while self._items and self._getters:
+            getter = self._getters.pop(0)
+            if getter.triggered:
+                continue
+            getter.succeed(self._items.pop(0))

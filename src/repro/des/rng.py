@@ -1,0 +1,97 @@
+"""Seeded random-number streams for simulation components.
+
+Each model component (terminal think times, transaction generation, disk
+selection, restart delays, ...) draws from its own named stream, derived
+deterministically from a root seed. This is standard simulation practice:
+it decorrelates variance across components and keeps runs reproducible —
+adding draws to one component does not perturb any other component's
+sequence.
+"""
+
+import hashlib
+import random
+
+
+class RandomStream:
+    """A named pseudo-random stream with the distributions the model needs."""
+
+    def __init__(self, seed, name=""):
+        self.name = name
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def exponential(self, mean):
+        """Sample Exp(mean). A mean of zero degenerates to 0.0."""
+        if mean < 0:
+            raise ValueError(f"mean must be >= 0, got {mean}")
+        if mean == 0:
+            return 0.0
+        return self._random.expovariate(1.0 / mean)
+
+    def uniform(self, low, high):
+        """Sample Uniform[low, high] (continuous)."""
+        return self._random.uniform(low, high)
+
+    def uniform_int(self, low, high):
+        """Sample an integer uniformly from [low, high] inclusive."""
+        if low > high:
+            raise ValueError(f"empty range [{low}, {high}]")
+        return self._random.randint(low, high)
+
+    def bernoulli(self, p):
+        """True with probability ``p``."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        return self._random.random() < p
+
+    def sample_without_replacement(self, population_size, k):
+        """``k`` distinct integers from range(population_size).
+
+        Used to draw a transaction's read set from the database; the paper
+        chooses objects "randomly (without replacement) from among all of
+        the objects in the database".
+        """
+        if k > population_size:
+            raise ValueError(
+                f"cannot draw {k} distinct items from {population_size}"
+            )
+        return self._random.sample(range(population_size), k)
+
+    def choice(self, sequence):
+        return self._random.choice(sequence)
+
+    def shuffle(self, items):
+        self._random.shuffle(items)
+
+    def random(self):
+        return self._random.random()
+
+    def __repr__(self):
+        return f"RandomStream(name={self.name!r}, seed={self.seed!r})"
+
+
+class StreamFactory:
+    """Derives independent named :class:`RandomStream`s from one root seed.
+
+    Derivation hashes (root_seed, name) with SHA-256, so streams are stable
+    across runs and machines and independent of creation order.
+    """
+
+    def __init__(self, root_seed):
+        self.root_seed = root_seed
+        self._created = {}
+
+    def stream(self, name):
+        """The stream for ``name`` (created on first use, then cached)."""
+        if name in self._created:
+            return self._created[name]
+        digest = hashlib.sha256(
+            f"{self.root_seed}/{name}".encode()
+        ).digest()
+        seed = int.from_bytes(digest[:8], "big")
+        stream = RandomStream(seed, name)
+        self._created[name] = stream
+        return stream
+
+    def __repr__(self):
+        return f"StreamFactory(root_seed={self.root_seed!r})"

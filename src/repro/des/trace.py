@@ -1,0 +1,98 @@
+"""Event tracing for simulations.
+
+A :class:`TraceRecorder` collects timestamped, structured records of
+whatever the model chooses to emit (the engine emits transaction
+lifecycle events: submit, admit, block, restart, commit). Traces are
+bounded (a ring buffer) so long runs cannot exhaust memory, filterable
+by kind, and renderable as a human-readable log — the tool you want
+when a figure looks wrong and you need to watch one transaction's life.
+
+Usage::
+
+    tracer = TraceRecorder(capacity=10_000)
+    model = SystemModel(params, "blocking", seed=1, tracer=tracer)
+    model.run_until(5.0)
+    for record in tracer.query(kind="restart"):
+        print(record)
+"""
+
+from collections import Counter, deque
+
+
+class TraceRecord:
+    """One timestamped trace entry."""
+
+    __slots__ = ("time", "kind", "fields")
+
+    def __init__(self, time, kind, fields):
+        self.time = time
+        self.kind = kind
+        self.fields = fields
+
+    def __getattr__(self, name):
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __repr__(self):
+        rendered = " ".join(
+            f"{key}={value!r}" for key, value in self.fields.items()
+        )
+        return f"[{self.time:12.6f}] {self.kind:10s} {rendered}"
+
+
+class TraceRecorder:
+    """Bounded, queryable collector of :class:`TraceRecord`s."""
+
+    def __init__(self, capacity=100_000, kinds=None):
+        """``kinds``, if given, restricts recording to those kinds
+        (cheap filtering at the source)."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self._records = deque(maxlen=capacity)
+        self.dropped = 0
+        self.counts = Counter()
+
+    def record(self, time, kind, **fields):
+        """Append a record (no-op if the kind is filtered out)."""
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._records.append(TraceRecord(time, kind, fields))
+        self.counts[kind] += 1
+
+    def __len__(self):
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def query(self, kind=None, since=None, until=None, **field_filters):
+        """Records matching the given kind/time-window/field values."""
+        for record in self._records:
+            if kind is not None and record.kind != kind:
+                continue
+            if since is not None and record.time < since:
+                continue
+            if until is not None and record.time > until:
+                continue
+            if any(
+                record.fields.get(key) != value
+                for key, value in field_filters.items()
+            ):
+                continue
+            yield record
+
+    def transaction_timeline(self, tx_id):
+        """All records mentioning one transaction, in order."""
+        return list(self.query(tx=tx_id))
+
+    def render(self, records=None):
+        """Multi-line log text of ``records`` (default: everything)."""
+        return "\n".join(
+            repr(record) for record in (records or self._records)
+        )

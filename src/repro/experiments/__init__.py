@@ -1,0 +1,50 @@
+"""The paper's evaluation: experiment presets, sweeps, figures, reports.
+
+* :mod:`repro.experiments.configs` — Experiments 1-5 as presets; the
+  figure index mapping paper Figures 3-21 to sweeps and metrics.
+* :mod:`repro.experiments.runner` — algorithm x mpl sweep driver.
+* :mod:`repro.experiments.figures` — ``figure3()`` .. ``figure21()``.
+* :mod:`repro.experiments.report` — ASCII tables and plots.
+* :mod:`repro.experiments.cli` — the ``repro-experiments`` command.
+"""
+
+from repro.experiments.configs import (
+    FIGURE_INDEX,
+    ExperimentConfig,
+    experiment_configs,
+)
+from repro.experiments.figures import FIGURE_TITLES, FigureBuilder, FigureData
+from repro.experiments.export import (
+    rows_to_csv_text,
+    sweep_to_rows,
+    write_csv,
+)
+from repro.experiments.persistence import load_sweep, save_sweep
+from repro.experiments.report import ascii_plot, format_table, sweep_report
+from repro.experiments.runner import (
+    DEFAULT_RUN,
+    QUICK_RUN,
+    SweepResult,
+    run_sweep,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "experiment_configs",
+    "FIGURE_INDEX",
+    "FIGURE_TITLES",
+    "FigureBuilder",
+    "FigureData",
+    "run_sweep",
+    "SweepResult",
+    "DEFAULT_RUN",
+    "QUICK_RUN",
+    "format_table",
+    "ascii_plot",
+    "sweep_report",
+    "sweep_to_rows",
+    "write_csv",
+    "rows_to_csv_text",
+    "save_sweep",
+    "load_sweep",
+]

@@ -1,0 +1,142 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Examples::
+
+    # regenerate one figure's data (quick settings)
+    repro-experiments --figure 8 --quick
+
+    # run a whole experiment with custom statistics
+    repro-experiments --experiment exp3_finite --batches 20 --batch-time 60
+
+    # everything in the paper (takes a while)
+    repro-experiments --all
+"""
+
+import argparse
+import sys
+
+from repro.experiments.configs import FIGURE_INDEX, experiment_configs
+from repro.experiments.figures import FigureBuilder
+from repro.experiments.report import sweep_report
+from repro.experiments.runner import DEFAULT_RUN, QUICK_RUN, print_progress
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the experiments of Agrawal, Carey & Livny, "
+            "'Models for Studying Concurrency Control Performance' "
+            "(SIGMOD 1985)."
+        ),
+    )
+    what = parser.add_mutually_exclusive_group()
+    what.add_argument(
+        "--experiment",
+        choices=sorted(experiment_configs()),
+        help="run one experiment preset",
+    )
+    what.add_argument(
+        "--figure",
+        type=int,
+        choices=sorted(FIGURE_INDEX),
+        help="regenerate one paper figure (3..21)",
+    )
+    what.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="use the quick statistics profile (3 batches x 12 s)",
+    )
+    parser.add_argument("--batches", type=int, default=None)
+    parser.add_argument("--batch-time", type=float, default=None)
+    parser.add_argument("--warmup-batches", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--mpl", type=int, action="append", dest="mpls",
+        help="restrict the mpl sweep (repeatable)",
+    )
+    parser.add_argument(
+        "--algorithm", action="append", dest="algorithms",
+        help="restrict the algorithms (repeatable)",
+    )
+    parser.add_argument(
+        "--no-plots", action="store_true",
+        help="tables only, no ASCII plots",
+    )
+    parser.add_argument(
+        "--csv", metavar="PATH",
+        help="also write the swept series to a CSV file",
+    )
+    return parser
+
+
+def resolve_run(args):
+    run = QUICK_RUN if args.quick else DEFAULT_RUN
+    changes = {}
+    if args.batches is not None:
+        changes["batches"] = args.batches
+    if args.batch_time is not None:
+        changes["batch_time"] = args.batch_time
+    if args.warmup_batches is not None:
+        changes["warmup_batches"] = args.warmup_batches
+    if args.seed is not None:
+        changes["seed"] = args.seed
+    return run.with_changes(**changes) if changes else run
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    run = resolve_run(args)
+    builder = FigureBuilder(
+        run=run,
+        mpls=args.mpls,
+        algorithms=args.algorithms,
+        progress=print_progress,
+    )
+    configs = experiment_configs()
+    if args.figure is not None:
+        data = builder.figure(args.figure)
+        print(sweep_report(data.sweep, with_plots=not args.no_plots))
+        print()
+        print(data.describe())
+        if args.csv:
+            _export_csv([data.sweep], args.csv)
+        return 0
+    if args.experiment is not None:
+        experiment_ids = [args.experiment]
+    elif args.all:
+        experiment_ids = sorted(configs)
+    else:
+        build_parser().print_help()
+        return 2
+    sweeps = []
+    for experiment_id in experiment_ids:
+        sweep = builder.sweep_for(experiment_id)
+        sweeps.append(sweep)
+        print(sweep_report(sweep, with_plots=not args.no_plots))
+        print()
+    if args.csv:
+        _export_csv(sweeps, args.csv)
+    return 0
+
+
+def _export_csv(sweeps, path):
+    import csv
+
+    from repro.experiments.export import CSV_COLUMNS, sweep_to_rows
+
+    with open(path, "w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=CSV_COLUMNS)
+        writer.writeheader()
+        total = 0
+        for sweep in sweeps:
+            rows = sweep_to_rows(sweep)
+            writer.writerows(rows)
+            total += len(rows)
+    print(f"[wrote {total} rows to {path}]", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

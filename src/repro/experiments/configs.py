@@ -1,0 +1,189 @@
+"""Experiment presets: one config per paper experiment/figure.
+
+Every figure in the paper's evaluation (Figures 3-21) maps to an
+:class:`ExperimentConfig` here; the figure builders in
+:mod:`repro.experiments.figures` run the sweep and extract the plotted
+series. Table 2's base settings come from
+:meth:`repro.core.SimulationParameters.table2`.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.cc import PAPER_ALGORITHMS
+from repro.core import (
+    DELAY_MODE_ADAPTIVE_ALL,
+    PAPER_MPLS,
+    SimulationParameters,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One sweep: parameters x algorithms x multiprogramming levels."""
+
+    experiment_id: str
+    title: str
+    #: Which paper figures this sweep regenerates.
+    figures: Tuple[int, ...]
+    params: SimulationParameters
+    algorithms: Tuple[str, ...] = PAPER_ALGORITHMS
+    mpls: Tuple[int, ...] = PAPER_MPLS
+    #: The output variables the figures plot.
+    metrics: Tuple[str, ...] = ("throughput",)
+    notes: str = ""
+
+    def params_for(self, mpl):
+        return self.params.with_changes(mpl=mpl)
+
+
+def _table2(**overrides):
+    return SimulationParameters.table2(**overrides)
+
+
+def experiment_configs():
+    """All experiment presets keyed by experiment id."""
+    configs = [
+        ExperimentConfig(
+            experiment_id="exp1_low_conflict_infinite",
+            title="Experiment 1: Low Conflict (Infinite Resources)",
+            figures=(3,),
+            params=_table2(db_size=10_000, num_cpus=None, num_disks=None),
+            metrics=("throughput",),
+            notes=(
+                "db_size=10,000 makes conflicts rare; all three "
+                "algorithms should be close (Figure 3)."
+            ),
+        ),
+        ExperimentConfig(
+            experiment_id="exp1_low_conflict_finite",
+            title="Experiment 1: Low Conflict (1 CPU, 2 Disks)",
+            figures=(4,),
+            params=_table2(db_size=10_000),
+            metrics=("throughput",),
+            notes=(
+                "Finite-resource low-conflict case; blocking slightly "
+                "ahead (Figure 4)."
+            ),
+        ),
+        ExperimentConfig(
+            experiment_id="exp2_infinite",
+            title="Experiment 2: Infinite Resources",
+            figures=(5, 6, 7),
+            params=_table2(num_cpus=None, num_disks=None),
+            metrics=(
+                "throughput",
+                "block_ratio",
+                "restart_ratio",
+                "response_time",
+                "response_time_std",
+            ),
+            notes=(
+                "Optimistic keeps climbing; blocking thrashes from "
+                "blocking (not restarts); immediate-restart plateaus "
+                "(Figures 5-7)."
+            ),
+        ),
+        ExperimentConfig(
+            experiment_id="exp3_finite",
+            title="Experiment 3: Resource-Limited (1 CPU, 2 Disks)",
+            figures=(8, 9, 10),
+            params=_table2(),
+            metrics=(
+                "throughput",
+                "disk_util",
+                "disk_util_useful",
+                "response_time",
+                "response_time_std",
+            ),
+            notes=(
+                "Blocking peaks highest (paper: at mpl=25, disks ~97% "
+                "total / ~92% useful); restart strategies peak at "
+                "mpl=10 (Figures 8-10)."
+            ),
+        ),
+        ExperimentConfig(
+            experiment_id="exp3_adaptive_delay",
+            title="Experiment 3: Adaptive Restart Delays for All",
+            figures=(11,),
+            params=_table2(restart_delay_mode=DELAY_MODE_ADAPTIVE_ALL),
+            metrics=("throughput",),
+            notes=(
+                "Adding the adaptive restart delay to blocking and "
+                "optimistic arrests thrashing; blocking emerges the "
+                "clear winner (Figure 11)."
+            ),
+        ),
+        ExperimentConfig(
+            experiment_id="exp4_5cpu_10disk",
+            title="Experiment 4: Multiple Resources (5 CPUs, 10 Disks)",
+            figures=(12, 13),
+            params=_table2(num_cpus=5, num_disks=10),
+            metrics=("throughput", "disk_util", "disk_util_useful"),
+            notes=(
+                "Similar shape to 1 CPU/2 disks; blocking still has the "
+                "best peak (Figures 12-13)."
+            ),
+        ),
+        ExperimentConfig(
+            experiment_id="exp4_25cpu_50disk",
+            title="Experiment 4: Multiple Resources (25 CPUs, 50 Disks)",
+            figures=(14, 15),
+            params=_table2(num_cpus=25, num_disks=50),
+            metrics=("throughput", "disk_util", "disk_util_useful"),
+            notes=(
+                "With utilizations in the 30% range the system behaves "
+                "like infinite resources: optimistic's best throughput "
+                "edges past blocking's (Figures 14-15)."
+            ),
+        ),
+        ExperimentConfig(
+            experiment_id="exp5_think_1s",
+            title="Experiment 5: Interactive (1 s Internal Think)",
+            figures=(16, 17),
+            params=_table2(int_think_time=1.0, ext_think_time=3.0),
+            metrics=("throughput", "disk_util", "disk_util_useful"),
+            notes="Blocking still best at 1 s think time (Figure 16).",
+        ),
+        ExperimentConfig(
+            experiment_id="exp5_think_5s",
+            title="Experiment 5: Interactive (5 s Internal Think)",
+            figures=(18, 19),
+            params=_table2(int_think_time=5.0, ext_think_time=11.0),
+            metrics=("throughput", "disk_util", "disk_util_useful"),
+            notes="Optimistic overtakes blocking at 5 s (Figure 18).",
+        ),
+        ExperimentConfig(
+            experiment_id="exp5_think_10s",
+            title="Experiment 5: Interactive (10 s Internal Think)",
+            figures=(20, 21),
+            params=_table2(int_think_time=10.0, ext_think_time=21.0),
+            metrics=("throughput", "disk_util", "disk_util_useful"),
+            notes="Optimistic clearly best at 10 s (Figure 20).",
+        ),
+    ]
+    return {config.experiment_id: config for config in configs}
+
+
+#: Figure number -> (experiment id, primary metric(s)).
+FIGURE_INDEX: Dict[int, Tuple[str, Tuple[str, ...]]] = {
+    3: ("exp1_low_conflict_infinite", ("throughput",)),
+    4: ("exp1_low_conflict_finite", ("throughput",)),
+    5: ("exp2_infinite", ("throughput",)),
+    6: ("exp2_infinite", ("block_ratio", "restart_ratio")),
+    7: ("exp2_infinite", ("response_time", "response_time_std")),
+    8: ("exp3_finite", ("throughput",)),
+    9: ("exp3_finite", ("disk_util", "disk_util_useful")),
+    10: ("exp3_finite", ("response_time", "response_time_std")),
+    11: ("exp3_adaptive_delay", ("throughput",)),
+    12: ("exp4_5cpu_10disk", ("throughput",)),
+    13: ("exp4_5cpu_10disk", ("disk_util", "disk_util_useful")),
+    14: ("exp4_25cpu_50disk", ("throughput",)),
+    15: ("exp4_25cpu_50disk", ("disk_util", "disk_util_useful")),
+    16: ("exp5_think_1s", ("throughput",)),
+    17: ("exp5_think_1s", ("disk_util", "disk_util_useful")),
+    18: ("exp5_think_5s", ("throughput",)),
+    19: ("exp5_think_5s", ("disk_util", "disk_util_useful")),
+    20: ("exp5_think_10s", ("throughput",)),
+    21: ("exp5_think_10s", ("disk_util", "disk_util_useful")),
+}

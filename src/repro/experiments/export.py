@@ -1,0 +1,80 @@
+"""Exporting sweep results to machine-readable formats.
+
+``sweep_to_rows`` flattens a :class:`~repro.experiments.runner.SweepResult`
+into one row per (algorithm, mpl, metric); ``write_csv`` serializes the
+rows so the figures can be re-plotted with any external tool.
+"""
+
+import csv
+import io
+
+#: Column order of the flattened rows.
+CSV_COLUMNS = (
+    "experiment",
+    "figures",
+    "algorithm",
+    "mpl",
+    "metric",
+    "mean",
+    "ci_half_width",
+    "ci_low",
+    "ci_high",
+    "confidence",
+    "batches",
+)
+
+
+def sweep_to_rows(sweep, metrics=None):
+    """Flatten a sweep into dict rows (one per algorithm x mpl x metric).
+
+    ``metrics`` defaults to the owning experiment's plotted metrics.
+    """
+    config = sweep.config
+    metrics = tuple(metrics) if metrics is not None else config.metrics
+    figures = "+".join(str(f) for f in config.figures)
+    rows = []
+    for (algorithm, mpl), result in sorted(sweep.results.items()):
+        for metric in metrics:
+            interval = result.interval(metric)
+            rows.append({
+                "experiment": config.experiment_id,
+                "figures": figures,
+                "algorithm": algorithm,
+                "mpl": mpl,
+                "metric": metric,
+                "mean": interval.mean,
+                "ci_half_width": interval.half_width,
+                "ci_low": interval.low,
+                "ci_high": interval.high,
+                "confidence": interval.confidence,
+                "batches": interval.n,
+            })
+    return rows
+
+
+def write_csv(sweep, destination, metrics=None):
+    """Write the flattened sweep to ``destination``.
+
+    ``destination`` may be a path or a writable text file object.
+    Returns the number of data rows written.
+    """
+    rows = sweep_to_rows(sweep, metrics=metrics)
+    if hasattr(destination, "write"):
+        _write_rows(destination, rows)
+    else:
+        with open(destination, "w", newline="") as f:
+            _write_rows(f, rows)
+    return len(rows)
+
+
+def rows_to_csv_text(sweep, metrics=None):
+    """The CSV as a string (convenience for tests and notebooks)."""
+    buffer = io.StringIO()
+    write_csv(sweep, buffer, metrics=metrics)
+    return buffer.getvalue()
+
+
+def _write_rows(fileobj, rows):
+    writer = csv.DictWriter(fileobj, fieldnames=CSV_COLUMNS)
+    writer.writeheader()
+    writer.writerows(rows)

@@ -1,0 +1,159 @@
+"""Figure builders: one function per paper figure (Figures 3-21).
+
+Each ``figureN`` runs (or reuses) the owning experiment's sweep and
+returns a :class:`FigureData` holding exactly the series the paper
+plots. Sweeps are cached per (experiment, run-config) within a
+:class:`FigureBuilder`, so requesting Figures 5, 6 and 7 — which share
+Experiment 2's sweep — simulates once.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.experiments.configs import FIGURE_INDEX, experiment_configs
+from repro.experiments.report import metric_label
+from repro.experiments.runner import DEFAULT_RUN, run_sweep
+
+
+@dataclass
+class FigureData:
+    """The data behind one paper figure."""
+
+    figure: int
+    title: str
+    experiment_id: str
+    #: metric -> algorithm -> [(mpl, mean, ci)]
+    series: Dict[str, Dict[str, List[Tuple]]] = field(default_factory=dict)
+    sweep: object = None
+
+    def algorithms(self):
+        for per_alg in self.series.values():
+            return sorted(per_alg)
+        return []
+
+    def values(self, metric, algorithm):
+        """[(mpl, mean)] without the confidence intervals."""
+        return [
+            (mpl, mean) for mpl, mean, _ in self.series[metric][algorithm]
+        ]
+
+    def peak(self, metric, algorithm):
+        """(mpl, value) of the series' maximum."""
+        points = self.values(metric, algorithm)
+        return max(points, key=lambda p: p[1])
+
+    def describe(self):
+        lines = [f"Figure {self.figure}: {self.title}"]
+        for metric, per_alg in self.series.items():
+            lines.append(f"  {metric_label(metric)}")
+            for algorithm, points in sorted(per_alg.items()):
+                rendered = ", ".join(
+                    f"{mpl}:{mean:.3f}" for mpl, mean, _ in points
+                )
+                lines.append(f"    {algorithm:18s} {rendered}")
+        return "\n".join(lines)
+
+
+#: Paper figure captions (titles of Figures 3-21).
+FIGURE_TITLES = {
+    3: "Throughput (Infinite Resources, Low Conflict)",
+    4: "Throughput (1 CPU, 2 Disks, Low Conflict)",
+    5: "Throughput (Infinite Resources)",
+    6: "Conflict Ratios (Infinite Resources)",
+    7: "Response Time (Infinite Resources)",
+    8: "Throughput (1 CPU, 2 Disks)",
+    9: "Disk Utilization (1 CPU, 2 Disks)",
+    10: "Response Time (1 CPU, 2 Disks)",
+    11: "Throughput (Adaptive Delays)",
+    12: "Throughput (5 CPUs, 10 Disks)",
+    13: "Disk Utilization (5 CPUs, 10 Disks)",
+    14: "Throughput (25 CPUs, 50 Disks)",
+    15: "Disk Utilization (25 CPUs, 50 Disks)",
+    16: "Throughput (1 Second Internal Thinking)",
+    17: "Disk Utilization (1 Second Internal Thinking)",
+    18: "Throughput (5 Seconds Internal Thinking)",
+    19: "Disk Utilization (5 Seconds Internal Thinking)",
+    20: "Throughput (10 Seconds Internal Thinking)",
+    21: "Disk Utilization (10 Seconds Internal Thinking)",
+}
+
+
+class FigureBuilder:
+    """Builds paper figures, sharing sweeps across figures of one
+    experiment."""
+
+    def __init__(self, run=None, mpls=None, algorithms=None, progress=None):
+        self.run = run or DEFAULT_RUN
+        self.mpls = mpls
+        self.algorithms = algorithms
+        self.progress = progress
+        self._configs = experiment_configs()
+        self._sweeps = {}
+
+    def sweep_for(self, experiment_id):
+        """The (cached) sweep of one experiment."""
+        if experiment_id not in self._sweeps:
+            config = self._configs[experiment_id]
+            self._sweeps[experiment_id] = run_sweep(
+                config,
+                run=self.run,
+                mpls=self.mpls,
+                algorithms=self.algorithms,
+                progress=self.progress,
+            )
+        return self._sweeps[experiment_id]
+
+    def figure(self, number):
+        """Build the data behind paper figure ``number`` (3..21)."""
+        if number not in FIGURE_INDEX:
+            raise ValueError(
+                f"the paper has figures 3..21; got {number}"
+            )
+        experiment_id, metrics = FIGURE_INDEX[number]
+        sweep = self.sweep_for(experiment_id)
+        data = FigureData(
+            figure=number,
+            title=FIGURE_TITLES[number],
+            experiment_id=experiment_id,
+            sweep=sweep,
+        )
+        for metric in metrics:
+            data.series[metric] = {
+                algorithm: sweep.series(metric, algorithm)
+                for algorithm in sweep.algorithms()
+            }
+        return data
+
+    def all_figures(self):
+        """Every paper figure, in number order."""
+        return [self.figure(number) for number in sorted(FIGURE_INDEX)]
+
+
+def _single_figure(number, run=None, mpls=None, progress=None):
+    builder = FigureBuilder(run=run, mpls=mpls, progress=progress)
+    return builder.figure(number)
+
+
+def _make_figure_function(number):
+    def figure_function(run=None, mpls=None, progress=None):
+        return _single_figure(number, run=run, mpls=mpls, progress=progress)
+
+    figure_function.__name__ = f"figure{number}"
+    figure_function.__doc__ = (
+        f"Regenerate paper Figure {number}: {FIGURE_TITLES[number]}.\n\n"
+        "Pass a RunConfig as ``run`` to control batch count/length and\n"
+        "``mpls`` to restrict the multiprogramming-level sweep.\n"
+        "Returns a FigureData."
+    )
+    return figure_function
+
+
+# figure3 .. figure21, generated against FIGURE_INDEX so the set of
+# public builders provably matches the paper's figure list.
+for _number in sorted(FIGURE_INDEX):
+    globals()[f"figure{_number}"] = _make_figure_function(_number)
+del _number
+
+__all__ = ["FigureBuilder", "FigureData", "FIGURE_TITLES"] + [
+    f"figure{number}" for number in sorted(FIGURE_INDEX)
+]

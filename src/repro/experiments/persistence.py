@@ -1,0 +1,110 @@
+"""Saving and reloading experiment sweeps.
+
+Full-fidelity sweeps take real time; this module persists everything a
+report or shape-check needs — the per-batch values of every output
+variable at every (algorithm, mpl) point — as a single JSON document,
+and reconstructs a :class:`~repro.experiments.runner.SweepResult` whose
+results answer ``mean``/``interval``/``describe`` exactly like live
+ones (they are rebuilt on real ``BatchMeansAnalyzer``s).
+
+    sweep = run_sweep(config, run=RunConfig(batches=20, batch_time=120))
+    save_sweep(sweep, "exp3.json")
+    ...
+    sweep = load_sweep("exp3.json")   # plot/report without resimulating
+"""
+
+import json
+from dataclasses import asdict
+
+from repro.core import RunConfig
+from repro.core.simulation import SimulationResult
+from repro.experiments.configs import experiment_configs
+from repro.experiments.runner import SweepResult
+from repro.stats import BatchMeansAnalyzer
+
+#: Format marker for forward compatibility.
+FORMAT = "repro-sweep-v1"
+
+
+def save_sweep(sweep, path):
+    """Serialize a sweep (config id, run settings, all batch series)."""
+    document = {
+        "format": FORMAT,
+        "experiment_id": sweep.config.experiment_id,
+        "run": asdict(sweep.run),
+        "wall_seconds": sweep.wall_seconds,
+        "points": [
+            {
+                "algorithm": algorithm,
+                "mpl": mpl,
+                "series": {
+                    name: result.analyzer.series(name).values
+                    for name in result.analyzer.names()
+                },
+                "totals": _jsonable(result.totals),
+            }
+            for (algorithm, mpl), result in sorted(sweep.results.items())
+        ],
+    }
+    with open(path, "w") as f:
+        json.dump(document, f)
+    return path
+
+
+def load_sweep(path):
+    """Rebuild a :class:`SweepResult` from :func:`save_sweep` output.
+
+    The experiment config is resolved from the current registry by id;
+    an unknown id (e.g. a renamed preset) is an error rather than a
+    silent mismatch.
+    """
+    with open(path) as f:
+        document = json.load(f)
+    if document.get("format") != FORMAT:
+        raise ValueError(
+            f"{path}: not a saved sweep (format "
+            f"{document.get('format')!r})"
+        )
+    configs = experiment_configs()
+    experiment_id = document["experiment_id"]
+    if experiment_id not in configs:
+        raise ValueError(
+            f"{path}: unknown experiment {experiment_id!r}; "
+            f"known: {sorted(configs)}"
+        )
+    config = configs[experiment_id]
+    run = RunConfig(**document["run"])
+    sweep = SweepResult(config=config, run=run)
+    sweep.wall_seconds = document.get("wall_seconds", 0.0)
+    for point in document["points"]:
+        analyzer = BatchMeansAnalyzer(
+            warmup_batches=0, confidence=run.confidence
+        )
+        series = point["series"]
+        length = max((len(v) for v in series.values()), default=0)
+        for index in range(length):
+            analyzer.record({
+                name: values[index]
+                for name, values in series.items()
+                if index < len(values)
+            })
+        mpl = point["mpl"]
+        sweep.results[(point["algorithm"], mpl)] = SimulationResult(
+            algorithm=point["algorithm"],
+            params=config.params_for(mpl),
+            run=run,
+            analyzer=analyzer,
+            totals=point.get("totals", {}),
+        )
+    return sweep
+
+
+def _jsonable(value):
+    """Totals contain only JSON-friendly values; coerce defensively."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return repr(value)

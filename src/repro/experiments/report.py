@@ -1,0 +1,129 @@
+"""ASCII rendering of experiment results: tables and line plots.
+
+The paper presents its results as throughput/utilization/response-time
+curves over the multiprogramming level; these helpers render the same
+series as fixed-width tables and quick terminal plots so every figure
+can be "looked at" without matplotlib (which is unavailable offline).
+"""
+
+#: Display names for output variables, matching the paper's axis labels.
+METRIC_LABELS = {
+    "throughput": "Throughput (transactions/second)",
+    "response_time": "Mean Response Time (seconds)",
+    "response_time_std": "Std. Dev. of Response Time (seconds)",
+    "block_ratio": "Blocked / Commit (block ratio)",
+    "restart_ratio": "Restarts / Commit (restart ratio)",
+    "disk_util": "Total Disk Utilization",
+    "disk_util_useful": "Useful Disk Utilization",
+    "cpu_util": "Total CPU Utilization",
+    "cpu_util_useful": "Useful CPU Utilization",
+    "avg_active": "Average Number of Active Transactions",
+    "avg_ready_queue": "Average Ready-Queue Length",
+    "commits": "Commits per Batch",
+}
+
+
+def metric_label(metric):
+    return METRIC_LABELS.get(metric, metric)
+
+
+def format_table(sweep, metric, with_ci=False):
+    """A fixed-width table: rows = mpl, columns = algorithms."""
+    algorithms = sweep.algorithms()
+    mpls = sweep.mpls()
+    width = 22 if with_ci else 12
+    header = "mpl".rjust(5) + "".join(
+        alg.rjust(width) for alg in algorithms
+    )
+    lines = [metric_label(metric), header, "-" * len(header)]
+    for mpl in mpls:
+        cells = []
+        for algorithm in algorithms:
+            result = sweep.results.get((algorithm, mpl))
+            if result is None:
+                cells.append("-".rjust(width))
+                continue
+            if with_ci:
+                ci = result.interval(metric)
+                cells.append(
+                    f"{ci.mean:9.3f} ±{ci.half_width:6.3f}".rjust(width)
+                )
+            else:
+                cells.append(f"{result.mean(metric):12.3f}")
+        lines.append(f"{mpl:5d}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def ascii_plot(sweep, metric, height=14, width=64):
+    """A rough terminal line plot of ``metric`` vs mpl, one mark per
+    algorithm (first letter of the algorithm's name, uppercased; ``*``
+    where series overlap)."""
+    algorithms = sweep.algorithms()
+    mpls = sweep.mpls()
+    if not algorithms or not mpls:
+        return "(no data)"
+    series = {
+        alg: dict(
+            (mpl, value) for mpl, value, _ in sweep.series(metric, alg)
+        )
+        for alg in algorithms
+    }
+    values = [
+        value for per_alg in series.values() for value in per_alg.values()
+    ]
+    top = max(values) if values else 1.0
+    if top <= 0.0:
+        top = 1.0
+    grid = [[" "] * width for _ in range(height)]
+    x_positions = {
+        mpl: int(round(index * (width - 1) / max(1, len(mpls) - 1)))
+        for index, mpl in enumerate(mpls)
+    }
+    for alg in algorithms:
+        mark = alg[0].upper()
+        for mpl, value in series[alg].items():
+            x = x_positions[mpl]
+            y = height - 1 - int(round((value / top) * (height - 1)))
+            y = min(max(y, 0), height - 1)
+            grid[y][x] = "*" if grid[y][x] not in (" ", mark) else mark
+    axis = "+" + "-" * width
+    labels = " " * 1 + "".join(
+        str(mpl).ljust(
+            (x_positions[mpls[i + 1]] - x_positions[mpl])
+            if i + 1 < len(mpls) else width - x_positions[mpl]
+        )
+        for i, mpl in enumerate(mpls)
+    )
+    legend = "  ".join(f"{alg[0].upper()}={alg}" for alg in algorithms)
+    lines = [f"{metric_label(metric)}   (max={top:.3f})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append(axis)
+    lines.append(labels)
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def sweep_report(sweep, with_plots=True):
+    """Full textual report of one experiment sweep."""
+    config = sweep.config
+    lines = [
+        "=" * 72,
+        config.title,
+        f"(regenerates paper figure(s) {', '.join(map(str, config.figures))})",
+        "=" * 72,
+    ]
+    if config.notes:
+        lines.append(config.notes)
+        lines.append("")
+    for metric in config.metrics:
+        lines.append(format_table(sweep, metric, with_ci=True))
+        lines.append("")
+        if with_plots:
+            lines.append(ascii_plot(sweep, metric))
+            lines.append("")
+    lines.append(
+        f"[swept {len(sweep.results)} configurations in "
+        f"{sweep.wall_seconds:.1f}s wall time; "
+        f"{sweep.run.batches} batches x {sweep.run.batch_time:.0f}s]"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Sweep runner: algorithms x multiprogramming levels for one experiment."""
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.core import RunConfig, run_simulation
+
+
+#: Run controls sized for a laptop. The paper used 20 batches with a
+#: "large batch time" on a VAX cluster; these defaults produce the same
+#: qualitative curves in minutes. Pass ``RunConfig(batches=20,
+#: batch_time=120.0)`` (or larger) for publication-grade intervals.
+DEFAULT_RUN = RunConfig(batches=6, batch_time=25.0, warmup_batches=1)
+
+#: An even quicker profile for smoke tests and pytest-benchmark runs.
+QUICK_RUN = RunConfig(batches=3, batch_time=12.0, warmup_batches=1)
+
+
+@dataclass
+class SweepResult:
+    """All simulation results of one experiment sweep."""
+
+    config: object
+    run: RunConfig
+    #: (algorithm, mpl) -> SimulationResult
+    results: Dict[Tuple[str, int], object] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def result(self, algorithm, mpl):
+        return self.results[(algorithm, mpl)]
+
+    def series(self, metric, algorithm):
+        """[(mpl, mean, ci), ...] of ``metric`` for one algorithm."""
+        points = []
+        for (alg, mpl), result in sorted(self.results.items(),
+                                         key=lambda kv: kv[0][1]):
+            if alg != algorithm:
+                continue
+            points.append(
+                (mpl, result.mean(metric), result.interval(metric))
+            )
+        return points
+
+    def peak(self, metric, algorithm):
+        """(mpl, value) of the best observed ``metric`` for an algorithm."""
+        series = self.series(metric, algorithm)
+        if not series:
+            raise KeyError(f"no data for {algorithm}")
+        mpl, value, _ = max(series, key=lambda point: point[1])
+        return mpl, value
+
+    def algorithms(self):
+        return sorted({alg for alg, _ in self.results})
+
+    def mpls(self):
+        return sorted({mpl for _, mpl in self.results})
+
+
+def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
+              progress=None):
+    """Run every (algorithm, mpl) point of ``config``.
+
+    ``mpls``/``algorithms`` restrict the sweep (benchmarks use a subset
+    of the paper's seven mpl points to stay fast). ``progress`` is an
+    optional callable invoked with a status line after each point
+    (``print`` and logging functions both work).
+    """
+    run = run or DEFAULT_RUN
+    if seed is not None:
+        run = run.with_changes(seed=seed)
+    mpls = tuple(mpls) if mpls is not None else config.mpls
+    algorithms = (
+        tuple(algorithms) if algorithms is not None else config.algorithms
+    )
+    sweep = SweepResult(config=config, run=run)
+    started = time.perf_counter()
+    for algorithm in algorithms:
+        for mpl in mpls:
+            result = run_simulation(
+                config.params_for(mpl), algorithm=algorithm, run=run
+            )
+            sweep.results[(algorithm, mpl)] = result
+            if progress is not None:
+                progress(f"  {config.experiment_id}: {result.describe()}")
+    sweep.wall_seconds = time.perf_counter() - started
+    return sweep
+
+
+def print_progress(line):
+    """Default progress sink: stderr, flushed (safe under pytest -s)."""
+    print(line, file=sys.stderr, flush=True)

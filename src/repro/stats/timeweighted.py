@@ -1,0 +1,77 @@
+"""Time-weighted statistics for piecewise-constant signals.
+
+Queue lengths, populations, and busy-server counts are step functions of
+simulated time; their averages must be weighted by how long each value was
+held, not by how many times it changed.
+"""
+
+
+class TimeWeighted:
+    """Accumulate the time integral of a piecewise-constant signal.
+
+    The signal changes via :meth:`update`; the time-average over any window
+    is the accumulated area divided by elapsed time. Supports snapshot/delta
+    for per-batch reporting, mirroring :class:`repro.stats.Welford`.
+
+    >>> tw = TimeWeighted(initial=0.0, start_time=0.0)
+    >>> tw.update(2.0, now=1.0)   # was 0 during [0, 1)
+    >>> tw.update(4.0, now=3.0)   # was 2 during [1, 3)
+    >>> tw.time_average(now=4.0)  # was 4 during [3, 4)
+    2.0
+    """
+
+    __slots__ = ("_value", "_area", "_last_time", "_start_time")
+
+    def __init__(self, initial=0.0, start_time=0.0):
+        self._value = initial
+        self._area = 0.0
+        self._last_time = start_time
+        self._start_time = start_time
+
+    @property
+    def value(self):
+        """Current value of the signal."""
+        return self._value
+
+    def update(self, value, now):
+        """Record that the signal takes ``value`` from time ``now`` on."""
+        if now < self._last_time:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_time}"
+            )
+        self._area += self._value * (now - self._last_time)
+        self._last_time = now
+        self._value = value
+
+    def add(self, delta, now):
+        """Shift the signal by ``delta`` at time ``now`` (counter idiom)."""
+        self.update(self._value + delta, now)
+
+    def area(self, now):
+        """Time integral of the signal over [start_time, now]."""
+        if now < self._last_time:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_time}"
+            )
+        return self._area + self._value * (now - self._last_time)
+
+    def time_average(self, now):
+        """Time-weighted mean over [start_time, now] (0.0 if empty window)."""
+        elapsed = now - self._start_time
+        if elapsed <= 0.0:
+            return 0.0
+        return self.area(now) / elapsed
+
+    def window_average(self, area_at_window_start, window_start, now):
+        """Time-weighted mean over [window_start, now].
+
+        ``area_at_window_start`` is the value :meth:`area` returned at
+        ``window_start`` — the snapshot/delta idiom used at batch boundaries.
+        """
+        elapsed = now - window_start
+        if elapsed <= 0.0:
+            return 0.0
+        return (self.area(now) - area_at_window_start) / elapsed
+
+    def __repr__(self):
+        return f"TimeWeighted(value={self._value!r})"

@@ -1,0 +1,69 @@
+"""Tests for one-factor-at-a-time sensitivity sweeps."""
+
+import pytest
+
+from repro.analysis import parameter_sweep
+from repro.core import RunConfig, SimulationParameters
+
+TINY_RUN = RunConfig(batches=2, batch_time=8.0, warmup_batches=1, seed=19)
+
+
+def base_params():
+    return SimulationParameters(
+        db_size=200, min_size=4, max_size=8, write_prob=0.25,
+        num_terms=15, mpl=10, ext_think_time=0.3,
+        obj_io=0.010, obj_cpu=0.005, num_cpus=1, num_disks=2,
+    )
+
+
+class TestParameterSweep:
+    def test_series_in_sweep_order(self):
+        sweep = parameter_sweep(
+            base_params(), "blocking", field="mpl",
+            values=[2, 5, 10], run=TINY_RUN,
+        )
+        series = sweep.series("throughput")
+        assert [value for value, _ in series] == [2, 5, 10]
+        assert all(mean > 0 for _, mean in series)
+
+    def test_values_are_validated(self):
+        with pytest.raises(ValueError):
+            parameter_sweep(
+                base_params(), "blocking", field="mpl",
+                values=[0], run=TINY_RUN,
+            )
+
+    def test_best_maximize_and_minimize(self):
+        sweep = parameter_sweep(
+            base_params(), "blocking", field="mpl",
+            values=[1, 10], run=TINY_RUN,
+        )
+        best_mpl, best_tps = sweep.best("throughput")
+        assert best_mpl == 10  # serial execution cannot win
+        worst_mpl, _ = sweep.best("throughput", maximize=False)
+        assert worst_mpl == 1
+
+    def test_relative_range(self):
+        sweep = parameter_sweep(
+            base_params(), "blocking", field="mpl",
+            values=[1, 10], run=TINY_RUN,
+        )
+        assert 0.0 < sweep.relative_range("throughput") < 1.0
+
+    def test_obj_io_sensitivity_direction(self):
+        # Slower disks must reduce throughput on a disk-bound system.
+        sweep = parameter_sweep(
+            base_params(), "blocking", field="obj_io",
+            values=[0.005, 0.040], run=TINY_RUN,
+        )
+        series = dict(sweep.series("throughput"))
+        assert series[0.005] > series[0.040]
+
+    def test_describe(self):
+        sweep = parameter_sweep(
+            base_params(), "blocking", field="mpl",
+            values=[2, 5], run=TINY_RUN,
+        )
+        text = sweep.describe("throughput")
+        assert "mpl" in text
+        assert "relative range" in text

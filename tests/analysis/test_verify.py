@@ -1,0 +1,132 @@
+"""Unit tests for the serial-replay serializability checker."""
+
+import pytest
+
+from repro.analysis import (
+    HistoryViolation,
+    check_serializability,
+    conflict_graph,
+)
+
+
+class Record:
+    """Hand-built committed record for checker unit tests."""
+
+    def __init__(self, tx_id, serial_key, reads=(), writes=(),
+                 reads_seen=None):
+        self.tx_id = tx_id
+        self.serial_key = serial_key
+        self.read_set = tuple(reads)
+        self.write_set = frozenset(writes)
+        self.installed_writes = frozenset(writes)
+        self.reads_seen = dict(reads_seen or {})
+
+
+class TestChecker:
+    def test_empty_history_ok(self):
+        report = check_serializability([])
+        assert report.ok
+        assert report.transactions_checked == 0
+
+    def test_consistent_chain_ok(self):
+        history = [
+            Record(1, 1, reads=("x",), writes=("x",),
+                   reads_seen={"x": None}),
+            Record(2, 2, reads=("x",), writes=("x",), reads_seen={"x": 1}),
+            Record(3, 3, reads=("x",), reads_seen={"x": 2}),
+        ]
+        report = check_serializability(history)
+        assert report.ok
+        assert report.reads_checked == 3
+
+    def test_stale_read_detected(self):
+        history = [
+            Record(1, 1, reads=("x",), writes=("x",),
+                   reads_seen={"x": None}),
+            Record(2, 2, reads=("x",), reads_seen={"x": None}),  # stale!
+        ]
+        report = check_serializability(history)
+        assert not report.ok
+        assert len(report.violations) == 1
+        violation = report.violations[0]
+        assert violation.tx_id == 2
+        assert violation.expected_writer == 1
+        assert violation.observed_writer is None
+        assert "replay expects" in str(violation)
+
+    def test_order_independent_of_input_sequence(self):
+        history = [
+            Record(2, 2, reads=("x",), reads_seen={"x": 1}),
+            Record(1, 1, reads=("x",), writes=("x",),
+                   reads_seen={"x": None}),
+        ]
+        assert check_serializability(history).ok
+
+    def test_future_read_detected(self):
+        # tx 1 (earlier key) claims to have read tx 2's write.
+        history = [
+            Record(1, 1, reads=("x",), reads_seen={"x": 2}),
+            Record(2, 2, reads=(), writes=("x",)),
+        ]
+        report = check_serializability(history)
+        assert not report.ok
+
+    def test_final_state_match(self):
+        history = [
+            Record(1, 1, writes=("x",)),
+            Record(2, 2, writes=("x", "y")),
+        ]
+        ok_state = {"x": 2, "y": 2}
+        report = check_serializability(history, final_state=ok_state)
+        assert report.final_state_matches
+        assert report.ok
+
+    def test_final_state_mismatch(self):
+        history = [Record(1, 1, writes=("x",))]
+        report = check_serializability(history, final_state={"x": 99})
+        assert report.final_state_matches is False
+        assert not report.ok
+
+    def test_skipped_installs_respected(self):
+        # Thomas write rule: write_set contains x, but it was not
+        # installed; replay must not expect it.
+        record = Record(1, 1, writes=("x",))
+        record.installed_writes = frozenset()
+        later = Record(2, 2, reads=("x",), reads_seen={"x": None})
+        assert check_serializability([record, later]).ok
+
+    def test_report_str(self):
+        report = check_serializability([])
+        assert "OK" in str(report)
+        bad = check_serializability(
+            [Record(1, 1, reads=("x",), reads_seen={"x": 5})]
+        )
+        assert "VIOLATED" in str(bad)
+
+
+class TestConflictGraph:
+    def test_edges_from_conflicts(self):
+        history = [
+            Record(1, 1, reads=("x",), writes=("x",),
+                   reads_seen={"x": None}),
+            Record(2, 2, reads=("x",), reads_seen={"x": 1}),
+            Record(3, 3, writes=("x",)),
+        ]
+        edges = conflict_graph(history)
+        assert (1, 2) in edges  # wr
+        assert (1, 3) in edges  # ww
+        assert (2, 3) in edges  # rw
+
+    def test_no_self_edges(self):
+        history = [
+            Record(1, 1, reads=("x",), writes=("x",),
+                   reads_seen={"x": None}),
+        ]
+        assert conflict_graph(history) == set()
+
+    def test_disjoint_objects_no_edges(self):
+        history = [
+            Record(1, 1, writes=("x",)),
+            Record(2, 2, writes=("y",)),
+        ]
+        assert conflict_graph(history) == set()

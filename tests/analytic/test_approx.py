@@ -1,0 +1,101 @@
+"""Tests for the Schweitzer approximate MVA against the exact solver."""
+
+import pytest
+
+from repro.analytic import (
+    Center,
+    DELAY,
+    MULTI_SERVER,
+    QUEUEING,
+    network_for_params,
+    solve_closed_network,
+    solve_closed_network_approx,
+)
+from repro.core import SimulationParameters
+
+
+def table2_network():
+    return network_for_params(SimulationParameters.table2())
+
+
+class TestValidation:
+    def test_population_positive(self):
+        with pytest.raises(ValueError):
+            solve_closed_network_approx(table2_network(), 0)
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError):
+            solve_closed_network_approx(
+                [Center("x", DELAY, 1.0), Center("x", DELAY, 2.0)], 5
+            )
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("population", [1, 5, 25, 100, 200])
+    def test_close_to_exact_on_table2(self, population):
+        centers = table2_network()
+        exact = solve_closed_network(centers, population)
+        approx = solve_closed_network_approx(centers, population)
+        assert approx.throughput == pytest.approx(
+            exact.throughput, rel=0.08
+        )
+        assert approx.response_time == pytest.approx(
+            exact.response_time, rel=0.20, abs=0.05
+        )
+
+    def test_exact_at_population_one(self):
+        # With one customer Schweitzer's (N-1)/N factor vanishes: the
+        # approximation is exact.
+        centers = [
+            Center("think", DELAY, 2.0),
+            Center("server", QUEUEING, 0.5),
+        ]
+        exact = solve_closed_network(centers, 1)
+        approx = solve_closed_network_approx(centers, 1)
+        assert approx.throughput == pytest.approx(
+            exact.throughput, rel=1e-9
+        )
+
+    @pytest.mark.parametrize("servers", [2, 5])
+    def test_multi_server_reasonable(self, servers):
+        # Seidmann's split is known to be pessimistic for wide pools at
+        # mid load (it serializes the queueing part); we pin that the
+        # error stays one-sided and bounded (~25% worst case here) —
+        # use the exact solver when multi-server precision matters.
+        centers = [
+            Center("think", DELAY, 3.0),
+            Center("pool", MULTI_SERVER, 1.0, servers=servers),
+        ]
+        for population in (4, 20):
+            exact = solve_closed_network(centers, population)
+            approx = solve_closed_network_approx(centers, population)
+            assert approx.throughput <= exact.throughput * 1.02
+            assert approx.throughput == pytest.approx(
+                exact.throughput, rel=0.30
+            )
+
+    def test_zero_load_residence_is_full_demand(self):
+        # A lone customer at a multi-server center still takes its full
+        # service demand (the Seidmann split must preserve this).
+        centers = [
+            Center("think", DELAY, 10.0),
+            Center("pool", MULTI_SERVER, 2.0, servers=4),
+        ]
+        result = solve_closed_network_approx(centers, 1)
+        assert result.residence_times["pool"] == pytest.approx(
+            2.0, rel=1e-6
+        )
+
+    def test_bottleneck_agrees_with_exact(self):
+        centers = table2_network()
+        exact = solve_closed_network(centers, 100)
+        approx = solve_closed_network_approx(centers, 100)
+        assert approx.bottleneck().startswith("disk")
+        assert exact.bottleneck().startswith("disk")
+
+    def test_large_population_is_cheap_and_sane(self):
+        centers = table2_network()
+        result = solve_closed_network_approx(centers, 100_000)
+        # Saturated: throughput pinned at the disk bottleneck.
+        assert result.throughput == pytest.approx(1 / 0.175, rel=0.01)
+        assert result.utilizations["disk0"] == pytest.approx(1.0, abs=0.01)

@@ -1,0 +1,41 @@
+"""Shared fixtures for concurrency-control unit tests."""
+
+from itertools import count
+
+import pytest
+
+from repro.des import Environment
+
+
+class FakeTx:
+    """Minimal stand-in for repro.core.Transaction in lock-level tests."""
+
+    _ids = count(1)
+
+    def __init__(self, first_submit_time=0.0, tx_id=None, committing=False):
+        self.id = tx_id if tx_id is not None else next(self._ids)
+        self.first_submit_time = first_submit_time
+        self.priority_ts = (first_submit_time, self.id)
+        self.cc_timestamp = (first_submit_time, self.id)
+        self.attempt_start_time = first_submit_time
+        self.lock_wait_event = None
+        self.read_set = ()
+        self.write_set = frozenset()
+        self.install_write_set = frozenset()
+        self.is_committing = committing
+        self.process = None
+        self.to_skipped_writes = set()
+        self.mv_reads_from = {}
+
+    def __repr__(self):
+        return f"FakeTx({self.id})"
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def make_tx():
+    return FakeTx

@@ -1,0 +1,233 @@
+"""Unit tests for the Blocking (dynamic 2PL) algorithm."""
+
+import pytest
+
+from repro.cc import (
+    REASON_DEADLOCK,
+    BlockingCC,
+    EngineHooks,
+    LockMode,
+    RestartTransaction,
+)
+from repro.des import Environment
+
+
+class RecordingHooks(EngineHooks):
+    def __init__(self):
+        self.blocks = []
+        self.remote_aborts = []
+
+    def count_block(self, tx):
+        self.blocks.append(tx)
+
+    def abort_remote(self, tx, error):
+        self.remote_aborts.append((tx, error))
+
+
+@pytest.fixture
+def setup(make_tx):
+    env = Environment()
+    hooks = RecordingHooks()
+    cc = BlockingCC().attach(env, hooks)
+    return env, hooks, cc
+
+
+class TestGrants:
+    def test_unconflicted_read_is_immediate(self, setup, make_tx):
+        _, hooks, cc = setup
+        assert cc.read_request(make_tx(), 7) is None
+        assert hooks.blocks == []
+
+    def test_read_read_share(self, setup, make_tx):
+        _, _, cc = setup
+        t1, t2 = make_tx(), make_tx()
+        assert cc.read_request(t1, 7) is None
+        assert cc.read_request(t2, 7) is None
+
+    def test_write_after_own_read_upgrades(self, setup, make_tx):
+        _, _, cc = setup
+        t1 = make_tx()
+        assert cc.read_request(t1, 7) is None
+        assert cc.write_request(t1, 7) is None
+        assert cc.locks.mode_held(t1, 7) is LockMode.EXCLUSIVE
+
+    def test_conflicting_request_blocks(self, setup, make_tx):
+        _, hooks, cc = setup
+        t1, t2 = make_tx(), make_tx()
+        assert cc.write_request(t1, 7) is None
+        event = cc.read_request(t2, 7)
+        assert event is not None
+        assert not event.triggered
+        assert hooks.blocks == [t2]
+        assert t2.lock_wait_event is event
+
+    def test_commit_releases_and_grants(self, setup, make_tx):
+        _, _, cc = setup
+        t1, t2 = make_tx(), make_tx()
+        cc.write_request(t1, 7)
+        event = cc.read_request(t2, 7)
+        cc.finalize_commit(t1)
+        assert event.triggered
+        assert cc.locks.mode_held(t2, 7) is LockMode.SHARED
+
+
+class TestWriteLockPolicy:
+    def test_policy_validated(self):
+        with pytest.raises(ValueError):
+            BlockingCC(write_lock_policy="eventually")
+
+    def test_immediate_exclusive_locks_writes_at_read(self, make_tx):
+        from repro.cc.blocking import IMMEDIATE_EXCLUSIVE
+        from repro.cc import LockMode
+
+        env = Environment()
+        cc = BlockingCC(
+            write_lock_policy=IMMEDIATE_EXCLUSIVE
+        ).attach(env, RecordingHooks())
+        tx = make_tx()
+        tx.write_set = frozenset({7})
+        assert cc.read_request(tx, 7) is None
+        assert cc.locks.mode_held(tx, 7) is LockMode.EXCLUSIVE
+        # Non-written objects still take shared locks.
+        assert cc.read_request(tx, 8) is None
+        assert cc.locks.mode_held(tx, 8) is LockMode.SHARED
+
+    def test_no_upgrade_deadlock_under_immediate_exclusive(self, make_tx):
+        from repro.cc.blocking import IMMEDIATE_EXCLUSIVE
+
+        env = Environment()
+        cc = BlockingCC(
+            write_lock_policy=IMMEDIATE_EXCLUSIVE
+        ).attach(env, RecordingHooks())
+        t1 = make_tx(first_submit_time=1.0)
+        t2 = make_tx(first_submit_time=2.0)
+        t1.write_set = frozenset({5})
+        t2.write_set = frozenset({5})
+        # Under the upgrade policy this pattern deadlocks; here the
+        # second reader simply waits for the first writer.
+        assert cc.read_request(t1, 5) is None
+        event = cc.read_request(t2, 5)
+        assert event is not None
+        assert cc.deadlocks_found == 0
+        cc.finalize_commit(t1)
+        assert event.triggered and event.ok
+
+
+class TestVictimPolicies:
+    def test_victim_policy_validated(self):
+        with pytest.raises(ValueError):
+            BlockingCC(victim_policy="random")
+
+    def test_oldest_victim_policy(self, make_tx):
+        from repro.cc.blocking import VICTIM_OLDEST
+
+        env = Environment()
+        cc = BlockingCC(victim_policy=VICTIM_OLDEST).attach(
+            env, RecordingHooks()
+        )
+        old = make_tx(first_submit_time=1.0)
+        young = make_tx(first_submit_time=9.0)
+        cc.write_request(old, 1)
+        cc.write_request(young, 2)
+        old_wait = cc.write_request(old, 2)
+        # Cycle closes; the OLDEST (old, which is blocked) is the victim.
+        young_wait = cc.write_request(young, 1)
+        assert old_wait.triggered and not old_wait.ok
+        with pytest.raises(RestartTransaction):
+            old_wait.value
+        assert young_wait is not None
+
+    def test_requester_victim_policy(self, make_tx):
+        from repro.cc.blocking import VICTIM_REQUESTER
+
+        env = Environment()
+        cc = BlockingCC(victim_policy=VICTIM_REQUESTER).attach(
+            env, RecordingHooks()
+        )
+        old = make_tx(first_submit_time=1.0)
+        young = make_tx(first_submit_time=9.0)
+        cc.write_request(old, 1)
+        cc.write_request(young, 2)
+        cc.write_request(young, 1)  # young blocks on old
+        # old closes the cycle as the requester -> old itself dies,
+        # even though it is not the youngest.
+        with pytest.raises(RestartTransaction):
+            cc.write_request(old, 2)
+
+
+class TestDeadlocks:
+    def test_requester_victimized_when_youngest(self, setup, make_tx):
+        _, _, cc = setup
+        old = make_tx(first_submit_time=1.0)
+        young = make_tx(first_submit_time=9.0)
+        assert cc.write_request(old, 1) is None
+        assert cc.write_request(young, 2) is None
+        assert cc.write_request(old, 2) is not None  # old blocks on young
+        with pytest.raises(RestartTransaction) as exc:
+            cc.write_request(young, 1)  # closes the cycle; young dies
+        assert exc.value.reason == REASON_DEADLOCK
+        assert cc.deadlocks_found == 1
+
+    def test_blocked_victim_event_failed(self, setup, make_tx):
+        env, _, cc = setup
+        old = make_tx(first_submit_time=1.0)
+        young = make_tx(first_submit_time=9.0)
+        assert cc.write_request(young, 1) is None
+        assert cc.write_request(old, 2) is None
+        young_wait = cc.write_request(young, 2)  # young blocks on old
+        assert young_wait is not None
+        # old closes the cycle: young (blocked) is the victim.
+        old_wait = cc.write_request(old, 1)
+        assert young_wait.triggered and not young_wait.ok
+        with pytest.raises(RestartTransaction):
+            young_wait.value
+        # victim's locks were released at victimization: old is granted.
+        assert old_wait.triggered and old_wait.ok
+        assert cc.locks.mode_held(old, 1) is LockMode.EXCLUSIVE
+
+    def test_upgrade_upgrade_deadlock(self, setup, make_tx):
+        _, _, cc = setup
+        old = make_tx(first_submit_time=1.0)
+        young = make_tx(first_submit_time=9.0)
+        assert cc.read_request(old, 5) is None
+        assert cc.read_request(young, 5) is None
+        assert cc.write_request(old, 5) is not None  # upgrade waits
+        with pytest.raises(RestartTransaction):
+            cc.write_request(young, 5)  # second upgrade: deadlock, young dies
+
+    def test_no_false_deadlock_on_plain_queue(self, setup, make_tx):
+        _, _, cc = setup
+        t1, t2, t3 = make_tx(), make_tx(), make_tx()
+        cc.write_request(t1, 1)
+        assert cc.write_request(t2, 1) is not None
+        assert cc.write_request(t3, 1) is not None
+        assert cc.deadlocks_found == 0
+
+    def test_three_way_cycle_restarts_only_youngest(self, setup, make_tx):
+        _, _, cc = setup
+        t1 = make_tx(first_submit_time=1.0)
+        t2 = make_tx(first_submit_time=2.0)
+        t3 = make_tx(first_submit_time=3.0)
+        cc.write_request(t1, 1)
+        cc.write_request(t2, 2)
+        cc.write_request(t3, 3)
+        w1 = cc.write_request(t1, 2)  # t1 -> t2
+        w2 = cc.write_request(t2, 3)  # t2 -> t3
+        # t3 -> t1 closes the cycle; youngest is t3, the requester.
+        with pytest.raises(RestartTransaction):
+            cc.write_request(t3, 1)
+        assert not w1.triggered  # t1 still waiting, not victimized
+        assert not w2.triggered
+
+    def test_abort_cleans_up_victim(self, setup, make_tx):
+        _, _, cc = setup
+        t1, t2 = make_tx(first_submit_time=1.0), make_tx(first_submit_time=2.0)
+        cc.write_request(t1, 1)
+        cc.write_request(t2, 2)
+        cc.write_request(t1, 2)
+        with pytest.raises(RestartTransaction):
+            cc.write_request(t2, 1)
+        cc.abort(t2)
+        assert cc.locks.locks_held_by(t2) == []
+        # t1's wait on object 2 is granted once t2 is fully gone.
+        assert cc.locks.mode_held(t1, 2) is LockMode.EXCLUSIVE

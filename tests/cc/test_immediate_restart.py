@@ -1,0 +1,77 @@
+"""Unit tests for the Immediate-Restart algorithm."""
+
+import pytest
+
+from repro.cc import (
+    DELAY_ADAPTIVE,
+    REASON_LOCK_CONFLICT,
+    ImmediateRestartCC,
+    LockMode,
+    RestartTransaction,
+)
+from repro.des import Environment
+
+
+@pytest.fixture
+def cc():
+    return ImmediateRestartCC().attach(Environment())
+
+
+class TestImmediateRestart:
+    def test_declares_adaptive_delay(self, cc):
+        assert cc.default_restart_delay == DELAY_ADAPTIVE
+
+    def test_grant_without_conflict(self, cc, make_tx):
+        assert cc.read_request(make_tx(), 1) is None
+
+    def test_shared_locks_compatible(self, cc, make_tx):
+        assert cc.read_request(make_tx(), 1) is None
+        assert cc.read_request(make_tx(), 1) is None
+
+    def test_conflict_restarts_requester(self, cc, make_tx):
+        t1, t2 = make_tx(), make_tx()
+        assert cc.write_request(t1, 1) is None
+        with pytest.raises(RestartTransaction) as exc:
+            cc.read_request(t2, 1)
+        assert exc.value.reason == REASON_LOCK_CONFLICT
+
+    def test_upgrade_conflict_restarts(self, cc, make_tx):
+        t1, t2 = make_tx(), make_tx()
+        assert cc.read_request(t1, 1) is None
+        assert cc.read_request(t2, 1) is None
+        with pytest.raises(RestartTransaction):
+            cc.write_request(t1, 1)  # t2 also holds shared
+
+    def test_sole_holder_upgrade_succeeds(self, cc, make_tx):
+        t1 = make_tx()
+        cc.read_request(t1, 1)
+        assert cc.write_request(t1, 1) is None
+        assert cc.locks.mode_held(t1, 1) is LockMode.EXCLUSIVE
+
+    def test_denied_request_queues_nothing(self, cc, make_tx):
+        t1, t2 = make_tx(), make_tx()
+        cc.write_request(t1, 1)
+        with pytest.raises(RestartTransaction):
+            cc.write_request(t2, 1)
+        assert cc.locks.queued_requests(1) == []
+
+    def test_commit_releases_locks(self, cc, make_tx):
+        t1, t2 = make_tx(), make_tx()
+        cc.write_request(t1, 1)
+        cc.finalize_commit(t1)
+        assert cc.write_request(t2, 1) is None
+
+    def test_abort_releases_locks(self, cc, make_tx):
+        t1, t2 = make_tx(), make_tx()
+        cc.write_request(t1, 1)
+        cc.abort(t1)
+        assert cc.write_request(t2, 1) is None
+
+    def test_retry_after_conflict_clears(self, cc, make_tx):
+        t1, t2 = make_tx(), make_tx()
+        cc.write_request(t1, 1)
+        with pytest.raises(RestartTransaction):
+            cc.write_request(t2, 1)
+        cc.abort(t2)
+        cc.finalize_commit(t1)
+        assert cc.write_request(t2, 1) is None

@@ -1,0 +1,258 @@
+"""Unit tests for the lock manager: grant rules, upgrades, queues."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cc import LockManager, LockMode, compatible
+from repro.des import Environment
+
+
+def manager():
+    return LockManager(Environment())
+
+
+class TestCompatibility:
+    def test_shared_shared(self):
+        assert compatible(LockMode.SHARED, LockMode.SHARED)
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (LockMode.SHARED, LockMode.EXCLUSIVE),
+            (LockMode.EXCLUSIVE, LockMode.SHARED),
+            (LockMode.EXCLUSIVE, LockMode.EXCLUSIVE),
+        ],
+    )
+    def test_exclusive_conflicts(self, a, b):
+        assert not compatible(a, b)
+
+
+class TestBasicGrants:
+    def test_first_shared_granted(self, make_tx):
+        lm = manager()
+        assert lm.acquire(make_tx(), 1, LockMode.SHARED).granted
+
+    def test_concurrent_shared_granted(self, make_tx):
+        lm = manager()
+        t1, t2 = make_tx(), make_tx()
+        assert lm.acquire(t1, 1, LockMode.SHARED).granted
+        assert lm.acquire(t2, 1, LockMode.SHARED).granted
+        assert lm.mode_held(t1, 1) is LockMode.SHARED
+        assert lm.mode_held(t2, 1) is LockMode.SHARED
+
+    def test_exclusive_blocks_shared(self, make_tx):
+        lm = manager()
+        t1, t2 = make_tx(), make_tx()
+        assert lm.acquire(t1, 1, LockMode.EXCLUSIVE).granted
+        result = lm.acquire(t2, 1, LockMode.SHARED)
+        assert not result.granted
+        assert result.event is not None
+
+    def test_shared_blocks_exclusive(self, make_tx):
+        lm = manager()
+        t1, t2 = make_tx(), make_tx()
+        assert lm.acquire(t1, 1, LockMode.SHARED).granted
+        assert not lm.acquire(t2, 1, LockMode.EXCLUSIVE).granted
+
+    def test_reacquire_same_mode_is_noop(self, make_tx):
+        lm = manager()
+        t1 = make_tx()
+        assert lm.acquire(t1, 1, LockMode.SHARED).granted
+        assert lm.acquire(t1, 1, LockMode.SHARED).granted
+
+    def test_shared_after_exclusive_held_is_covered(self, make_tx):
+        lm = manager()
+        t1 = make_tx()
+        assert lm.acquire(t1, 1, LockMode.EXCLUSIVE).granted
+        assert lm.acquire(t1, 1, LockMode.SHARED).granted
+
+    def test_nowait_denial_queues_nothing(self, make_tx):
+        lm = manager()
+        t1, t2 = make_tx(), make_tx()
+        lm.acquire(t1, 1, LockMode.EXCLUSIVE)
+        result = lm.acquire(t2, 1, LockMode.SHARED, wait=False)
+        assert not result.granted
+        assert result.event is None
+        assert lm.queued_requests(1) == []
+
+    def test_different_objects_independent(self, make_tx):
+        lm = manager()
+        t1, t2 = make_tx(), make_tx()
+        assert lm.acquire(t1, 1, LockMode.EXCLUSIVE).granted
+        assert lm.acquire(t2, 2, LockMode.EXCLUSIVE).granted
+
+
+class TestQueueing:
+    def test_no_overtaking_queued_exclusive(self, make_tx):
+        # reader holds S; writer queues for X; a NEW reader must not jump
+        # the queued writer even though S-S would be compatible.
+        lm = manager()
+        reader, writer, late_reader = make_tx(), make_tx(), make_tx()
+        lm.acquire(reader, 1, LockMode.SHARED)
+        assert not lm.acquire(writer, 1, LockMode.EXCLUSIVE).granted
+        assert not lm.acquire(late_reader, 1, LockMode.SHARED).granted
+
+    def test_release_grants_fcfs(self, make_tx):
+        lm = manager()
+        holder, w1, w2 = make_tx(), make_tx(), make_tx()
+        lm.acquire(holder, 1, LockMode.EXCLUSIVE)
+        r1 = lm.acquire(w1, 1, LockMode.EXCLUSIVE)
+        r2 = lm.acquire(w2, 1, LockMode.EXCLUSIVE)
+        lm.release_all(holder)
+        assert r1.event.triggered
+        assert not r2.event.triggered
+        assert lm.mode_held(w1, 1) is LockMode.EXCLUSIVE
+
+    def test_release_grants_multiple_shared_together(self, make_tx):
+        lm = manager()
+        holder, s1, s2, x1 = make_tx(), make_tx(), make_tx(), make_tx()
+        lm.acquire(holder, 1, LockMode.EXCLUSIVE)
+        r1 = lm.acquire(s1, 1, LockMode.SHARED)
+        r2 = lm.acquire(s2, 1, LockMode.SHARED)
+        r3 = lm.acquire(x1, 1, LockMode.EXCLUSIVE)
+        lm.release_all(holder)
+        assert r1.event.triggered and r2.event.triggered
+        assert not r3.event.triggered
+
+    def test_release_all_removes_queued_requests(self, make_tx):
+        lm = manager()
+        holder, waiter = make_tx(), make_tx()
+        lm.acquire(holder, 1, LockMode.EXCLUSIVE)
+        lm.acquire(waiter, 1, LockMode.SHARED)
+        lm.release_all(waiter)
+        assert lm.queued_requests(1) == []
+        # holder still holds
+        assert lm.mode_held(holder, 1) is LockMode.EXCLUSIVE
+
+    def test_dead_requests_skipped_at_grant(self, make_tx, env):
+        lm = LockManager(env)
+        holder, victim, waiter = make_tx(), make_tx(), make_tx()
+        lm.acquire(holder, 1, LockMode.EXCLUSIVE)
+        rv = lm.acquire(victim, 1, LockMode.EXCLUSIVE)
+        rw = lm.acquire(waiter, 1, LockMode.EXCLUSIVE)
+        rv.event.fail(RuntimeError("victimized"))
+        rv.event._defused = True
+        lm.release_all(holder)
+        assert rw.event.triggered
+        assert lm.mode_held(waiter, 1) is LockMode.EXCLUSIVE
+
+
+class TestUpgrades:
+    def test_sole_holder_upgrades_in_place(self, make_tx):
+        lm = manager()
+        t1 = make_tx()
+        lm.acquire(t1, 1, LockMode.SHARED)
+        assert lm.acquire(t1, 1, LockMode.EXCLUSIVE).granted
+        assert lm.mode_held(t1, 1) is LockMode.EXCLUSIVE
+
+    def test_sole_holder_upgrade_beats_queue(self, make_tx):
+        lm = manager()
+        t1, waiter = make_tx(), make_tx()
+        lm.acquire(t1, 1, LockMode.SHARED)
+        lm.acquire(waiter, 1, LockMode.EXCLUSIVE)  # queued
+        assert lm.acquire(t1, 1, LockMode.EXCLUSIVE).granted
+
+    def test_upgrade_waits_for_other_readers(self, make_tx):
+        lm = manager()
+        t1, t2 = make_tx(), make_tx()
+        lm.acquire(t1, 1, LockMode.SHARED)
+        lm.acquire(t2, 1, LockMode.SHARED)
+        result = lm.acquire(t1, 1, LockMode.EXCLUSIVE)
+        assert not result.granted
+        lm.release_all(t2)
+        assert result.event.triggered
+        assert lm.mode_held(t1, 1) is LockMode.EXCLUSIVE
+
+    def test_upgrade_queues_ahead_of_plain_requests(self, make_tx):
+        lm = manager()
+        t1, t2, t3 = make_tx(), make_tx(), make_tx()
+        lm.acquire(t1, 1, LockMode.SHARED)
+        lm.acquire(t2, 1, LockMode.SHARED)
+        lm.acquire(t3, 1, LockMode.EXCLUSIVE)  # plain, queued first
+        up = lm.acquire(t1, 1, LockMode.EXCLUSIVE)  # upgrade, queued later
+        queue = lm.queued_requests(1)
+        assert queue[0] is up.request
+        lm.release_all(t2)
+        assert up.event.triggered
+        assert lm.mode_held(t1, 1) is LockMode.EXCLUSIVE
+
+
+class TestBlockers:
+    def test_blockers_includes_conflicting_holders(self, make_tx):
+        lm = manager()
+        holder, waiter = make_tx(), make_tx()
+        lm.acquire(holder, 1, LockMode.EXCLUSIVE)
+        result = lm.acquire(waiter, 1, LockMode.SHARED)
+        assert lm.blockers(result.request) == {holder}
+
+    def test_blockers_includes_queued_ahead_conflicts(self, make_tx):
+        lm = manager()
+        holder, first, second = make_tx(), make_tx(), make_tx()
+        lm.acquire(holder, 1, LockMode.EXCLUSIVE)
+        lm.acquire(first, 1, LockMode.EXCLUSIVE)
+        result = lm.acquire(second, 1, LockMode.EXCLUSIVE)
+        assert lm.blockers(result.request) == {holder, first}
+
+    def test_blockers_excludes_compatible_queued_ahead(self, make_tx):
+        lm = manager()
+        holder, s_ahead, s_behind = make_tx(), make_tx(), make_tx()
+        lm.acquire(holder, 1, LockMode.EXCLUSIVE)
+        lm.acquire(s_ahead, 1, LockMode.SHARED)
+        result = lm.acquire(s_behind, 1, LockMode.SHARED)
+        assert lm.blockers(result.request) == {holder}
+
+    def test_upgrade_blockers_are_other_holders(self, make_tx):
+        lm = manager()
+        t1, t2 = make_tx(), make_tx()
+        lm.acquire(t1, 1, LockMode.SHARED)
+        lm.acquire(t2, 1, LockMode.SHARED)
+        result = lm.acquire(t1, 1, LockMode.EXCLUSIVE)
+        assert lm.blockers(result.request) == {t2}
+
+    def test_would_conflict_with_matches_blockers(self, make_tx):
+        lm = manager()
+        holder, probe = make_tx(), make_tx()
+        lm.acquire(holder, 1, LockMode.EXCLUSIVE)
+        conflicts = lm.would_conflict_with(probe, 1, LockMode.SHARED)
+        assert conflicts == {holder}
+        # and nothing was queued by the probe
+        assert lm.queued_requests(1) == []
+
+    def test_would_conflict_covered_mode_is_empty(self, make_tx):
+        lm = manager()
+        t1 = make_tx()
+        lm.acquire(t1, 1, LockMode.EXCLUSIVE)
+        assert lm.would_conflict_with(t1, 1, LockMode.SHARED) == set()
+
+
+class TestInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),  # tx index
+                st.integers(min_value=0, max_value=2),  # object
+                st.sampled_from([LockMode.SHARED, LockMode.EXCLUSIVE]),
+                st.booleans(),  # release instead of acquire
+            ),
+            max_size=60,
+        )
+    )
+    def test_never_incompatible_holders(self, ops):
+        from tests.cc.conftest import FakeTx
+
+        lm = manager()
+        txs = [FakeTx(tx_id=1000 + i) for i in range(5)]
+        for tx_index, obj, mode, release in ops:
+            tx = txs[tx_index]
+            if release:
+                lm.release_all(tx)
+            else:
+                lm.acquire(tx, obj, mode)
+            for check_obj in range(3):
+                holders = lm.holders(check_obj)
+                modes = list(holders.values())
+                if LockMode.EXCLUSIVE in modes:
+                    assert len(holders) == 1, (
+                        f"exclusive shared with others on {check_obj}"
+                    )

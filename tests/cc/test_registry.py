@@ -1,0 +1,64 @@
+"""Tests for the algorithm registry."""
+
+import pytest
+
+from repro.cc import (
+    PAPER_ALGORITHMS,
+    BasicTimestampOrderingCC,
+    ConcurrencyControl,
+    algorithm_names,
+    create_algorithm,
+    register_algorithm,
+)
+
+
+class TestRegistry:
+    def test_paper_algorithms_present(self):
+        names = algorithm_names()
+        for name in PAPER_ALGORITHMS:
+            assert name in names
+
+    def test_extensions_present(self):
+        names = algorithm_names()
+        for name in ("basic_to", "mvto", "wound_wait", "wait_die", "noop"):
+            assert name in names
+
+    def test_create_by_name(self):
+        cc = create_algorithm("blocking")
+        assert cc.name == "blocking"
+
+    def test_create_with_kwargs(self):
+        cc = create_algorithm("basic_to", thomas_write_rule=True)
+        assert isinstance(cc, BasicTimestampOrderingCC)
+        assert cc.thomas_write_rule
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="blocking"):
+            create_algorithm("two_phase_lockingg")
+
+    def test_register_custom_algorithm(self):
+        class MyCC(ConcurrencyControl):
+            name = "my_custom_cc_for_test"
+
+        try:
+            register_algorithm(MyCC)
+            assert isinstance(
+                create_algorithm("my_custom_cc_for_test"), MyCC
+            )
+        finally:
+            from repro.cc import registry
+
+            registry._ALGORITHMS.pop("my_custom_cc_for_test", None)
+
+    def test_register_requires_name(self):
+        class Nameless(ConcurrencyControl):
+            name = None
+
+        with pytest.raises(ValueError):
+            register_algorithm(Nameless)
+
+    def test_instances_are_independent(self):
+        a = create_algorithm("optimistic")
+        b = create_algorithm("optimistic")
+        assert a is not b
+        assert a._write_stamp is not b._write_stamp

@@ -1,0 +1,159 @@
+"""Unit tests for the wound-wait and wait-die deadlock-prevention variants."""
+
+import pytest
+
+from repro.cc import (
+    REASON_LOCK_CONFLICT,
+    REASON_WOUND,
+    EngineHooks,
+    LockMode,
+    RestartTransaction,
+    WaitDieCC,
+    WoundWaitCC,
+)
+from repro.des import Environment
+
+
+class RecordingHooks(EngineHooks):
+    def __init__(self):
+        self.blocks = []
+        self.remote_aborts = []
+
+    def count_block(self, tx):
+        self.blocks.append(tx)
+
+    def abort_remote(self, tx, error):
+        self.remote_aborts.append((tx, error))
+
+
+@pytest.fixture
+def hooks():
+    return RecordingHooks()
+
+
+class TestWaitDie:
+    @pytest.fixture
+    def cc(self, hooks):
+        return WaitDieCC().attach(Environment(), hooks)
+
+    def test_older_requester_waits(self, cc, hooks, make_tx):
+        young = make_tx(first_submit_time=9.0)
+        old = make_tx(first_submit_time=1.0)
+        assert cc.write_request(young, 1) is None
+        event = cc.write_request(old, 1)
+        assert event is not None
+        assert hooks.blocks == [old]
+
+    def test_younger_requester_dies(self, cc, make_tx):
+        old = make_tx(first_submit_time=1.0)
+        young = make_tx(first_submit_time=9.0)
+        assert cc.write_request(old, 1) is None
+        with pytest.raises(RestartTransaction) as exc:
+            cc.write_request(young, 1)
+        assert exc.value.reason == REASON_LOCK_CONFLICT
+        assert cc.deaths == 1
+
+    def test_young_dies_against_queued_ahead(self, cc, make_tx):
+        oldest = make_tx(first_submit_time=1.0)
+        middle = make_tx(first_submit_time=2.0)
+        young = make_tx(first_submit_time=9.0)
+        cc.write_request(young, 1)  # young holds
+        # middle is older than the HOLDER young? no: middle(2) < young(9),
+        # so middle waits.
+        assert cc.write_request(middle, 1) is not None
+        # oldest is older than both holder and queued: waits too.
+        assert cc.write_request(oldest, 1) is not None
+
+    def test_die_against_queued_ahead_conflict(self, cc, make_tx):
+        young_holder = make_tx(first_submit_time=9.0)
+        old_waiter = make_tx(first_submit_time=1.0)
+        middle = make_tx(first_submit_time=5.0)
+        cc.write_request(young_holder, 1)
+        cc.write_request(old_waiter, 1)  # waits (older than holder)
+        # middle is older than the holder but YOUNGER than the queued
+        # old_waiter -> must die, else a cycle could form.
+        with pytest.raises(RestartTransaction):
+            cc.write_request(middle, 1)
+
+    def test_shared_locks_no_conflict_no_death(self, cc, make_tx):
+        t1 = make_tx(first_submit_time=1.0)
+        t2 = make_tx(first_submit_time=9.0)
+        assert cc.read_request(t1, 1) is None
+        assert cc.read_request(t2, 1) is None
+        assert cc.deaths == 0
+
+    def test_commit_releases_and_grants_waiter(self, cc, make_tx):
+        young = make_tx(first_submit_time=9.0)
+        old = make_tx(first_submit_time=1.0)
+        cc.write_request(young, 1)
+        event = cc.write_request(old, 1)
+        cc.finalize_commit(young)
+        assert event.triggered
+        assert cc.locks.mode_held(old, 1) is LockMode.EXCLUSIVE
+
+
+class TestWoundWait:
+    @pytest.fixture
+    def cc(self, hooks):
+        return WoundWaitCC().attach(Environment(), hooks)
+
+    def test_younger_requester_waits(self, cc, hooks, make_tx):
+        old = make_tx(first_submit_time=1.0)
+        young = make_tx(first_submit_time=9.0)
+        assert cc.write_request(old, 1) is None
+        event = cc.write_request(young, 1)
+        assert event is not None
+        assert cc.wounds == 0
+        assert hooks.blocks == [young]
+
+    def test_older_requester_wounds_running_holder(self, cc, hooks, make_tx):
+        young = make_tx(first_submit_time=9.0)
+        old = make_tx(first_submit_time=1.0)
+        assert cc.write_request(young, 1) is None
+        event = cc.write_request(old, 1)
+        assert event is not None  # still waits for the wounded holder
+        assert cc.wounds == 1
+        assert len(hooks.remote_aborts) == 1
+        victim, error = hooks.remote_aborts[0]
+        assert victim is young
+        assert error.reason == REASON_WOUND
+        # When the victim's abort is processed, the old requester gets in.
+        cc.abort(young)
+        assert event.triggered
+        assert cc.locks.mode_held(old, 1) is LockMode.EXCLUSIVE
+
+    def test_older_requester_wounds_blocked_victim(self, cc, hooks, make_tx):
+        holder = make_tx(first_submit_time=0.5)
+        young = make_tx(first_submit_time=9.0)
+        old = make_tx(first_submit_time=1.0)
+        cc.write_request(holder, 1)
+        young_wait = cc.write_request(young, 1)
+        assert young_wait is not None
+        young.lock_wait_event = young_wait
+        event = cc.write_request(old, 1)
+        assert cc.wounds == 1
+        assert young_wait.triggered and not young_wait.ok
+        assert hooks.remote_aborts == []  # blocked victim: event failed
+        assert event is not None
+
+    def test_committing_victim_is_spared(self, cc, hooks, make_tx):
+        young = make_tx(first_submit_time=9.0, committing=True)
+        old = make_tx(first_submit_time=1.0)
+        cc.write_request(young, 1)
+        event = cc.write_request(old, 1)
+        assert cc.wounds == 0
+        assert hooks.remote_aborts == []
+        assert event is not None  # waits for the finisher
+
+    def test_wound_then_wait_mixed_ages(self, cc, hooks, make_tx):
+        oldest = make_tx(first_submit_time=0.1)
+        young = make_tx(first_submit_time=9.0)
+        middle = make_tx(first_submit_time=5.0)
+        assert cc.read_request(oldest, 1) is None
+        assert cc.read_request(young, 1) is None
+        # middle upgrades... no: middle requests exclusive; conflicts with
+        # both holders. It wounds young (younger) and waits for oldest.
+        event = cc.write_request(middle, 1)
+        assert event is not None
+        assert cc.wounds == 1
+        assert hooks.remote_aborts[0][0] is young

@@ -1,0 +1,16 @@
+"""Suite-wide configuration: a stable hypothesis profile.
+
+Several property tests drive whole simulations; the default 200 ms
+deadline would make them flaky on slow machines, so deadlines are
+disabled and example counts kept moderate.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

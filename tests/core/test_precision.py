@@ -1,0 +1,69 @@
+"""Tests for the sequential (precision-driven) stopping rule."""
+
+import pytest
+
+from repro.core import (
+    RunConfig,
+    SimulationParameters,
+    run_until_precision,
+)
+
+
+def params():
+    return SimulationParameters(
+        db_size=200, min_size=4, max_size=8, write_prob=0.25,
+        num_terms=10, mpl=5, ext_think_time=0.5,
+        obj_io=0.010, obj_cpu=0.005, num_cpus=1, num_disks=2,
+    )
+
+
+RUN = RunConfig(batches=4, batch_time=10.0, warmup_batches=1, seed=44)
+
+
+class TestValidation:
+    def test_target_positive(self):
+        with pytest.raises(ValueError):
+            run_until_precision(params(), target_relative_hw=0.0)
+
+    def test_max_batches_minimum(self):
+        with pytest.raises(ValueError):
+            run_until_precision(params(), max_batches=2)
+
+
+class TestStoppingRule:
+    def test_stops_once_target_met(self):
+        result = run_until_precision(
+            params(), "blocking", RUN,
+            target_relative_hw=0.10, max_batches=60,
+        )
+        interval = result.interval("throughput")
+        assert interval.relative_half_width <= 0.10
+        assert 3 <= result.run.batches <= 60
+        assert result.analyzer.batches_recorded == result.run.batches
+
+    def test_tighter_target_needs_more_batches(self):
+        loose = run_until_precision(
+            params(), "blocking", RUN,
+            target_relative_hw=0.25, max_batches=80,
+        )
+        tight = run_until_precision(
+            params(), "blocking", RUN,
+            target_relative_hw=0.04, max_batches=80,
+        )
+        assert tight.run.batches >= loose.run.batches
+        assert loose.run.batches >= 3
+
+    def test_max_batches_caps_hopeless_targets(self):
+        result = run_until_precision(
+            params(), "blocking", RUN,
+            target_relative_hw=1e-9, max_batches=5,
+        )
+        assert result.run.batches == 5
+
+    def test_result_totals_present(self):
+        result = run_until_precision(
+            params(), "optimistic", RUN,
+            target_relative_hw=0.2, max_batches=30,
+        )
+        assert result.totals["commits"] > 0
+        assert result.algorithm == "optimistic"

@@ -1,0 +1,205 @@
+"""Tests for resource pools: capacity, FCFS and priority order, stores."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.des import Environment, InfiniteResource, Resource, Store
+
+
+def hold(env, resource, log, tag, duration, priority=0):
+    with resource.request(priority=priority) as req:
+        yield req
+        log.append((tag, "start", env.now))
+        yield env.timeout(duration)
+    log.append((tag, "end", env.now))
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)
+
+    def test_grants_up_to_capacity(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        log = []
+        for tag in "abc":
+            env.process(hold(env, res, log, tag, 10.0))
+        env.run(until=1.0)
+        started = [t for t, kind, _ in log if kind == "start"]
+        assert started == ["a", "b"]
+        assert res.in_use == 2
+        assert res.queue_length == 1
+
+    def test_fcfs_order(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+        for i, tag in enumerate("abcd"):
+            env.process(hold(env, res, log, tag, 1.0))
+        env.run()
+        starts = [(t, at) for t, kind, at in log if kind == "start"]
+        assert starts == [("a", 0.0), ("b", 1.0), ("c", 2.0), ("d", 3.0)]
+
+    def test_priority_served_first(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def scenario(env):
+            env.process(hold(env, res, log, "running", 5.0))
+            yield env.timeout(1.0)
+            env.process(hold(env, res, log, "low", 1.0, priority=1))
+            yield env.timeout(1.0)
+            env.process(hold(env, res, log, "high", 1.0, priority=0))
+
+        env.process(scenario(env))
+        env.run()
+        starts = [t for t, kind, _ in log if kind == "start"]
+        # "high" arrived later but has a better priority class than "low"
+        assert starts == ["running", "high", "low"]
+
+    def test_release_via_context_manager(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+        env.process(hold(env, res, log, "a", 2.0))
+        env.run()
+        assert res.in_use == 0
+
+    def test_double_release_is_noop(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        req = res.request()
+        env.run()
+        res.release(req)
+        res.release(req)
+        assert res.in_use == 0
+
+    def test_cancel_queued_request(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        first = res.request()
+        queued = res.request()
+        assert res.queue_length == 1
+        queued.cancel()
+        assert res.queue_length == 0
+        res.release(first)
+        assert res.in_use == 0
+
+    def test_no_overtaking_when_queue_nonempty(self):
+        # Even if capacity is momentarily free, a new request must not jump
+        # ahead of the queue.
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def releaser(env, req):
+            yield env.timeout(1.0)
+            res.release(req)
+
+        first = res.request()
+        env.process(hold(env, res, log, "queued", 1.0))
+        env.process(releaser(env, first))
+        env.process(hold(env, res, log, "late", 1.0))
+        env.run()
+        starts = [t for t, kind, _ in log if kind == "start"]
+        assert starts == ["queued", "late"]
+
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=20))
+    def test_never_exceeds_capacity(self, capacity, n_procs):
+        env = Environment()
+        res = Resource(env, capacity=capacity)
+        max_seen = []
+
+        def proc(env):
+            with res.request() as req:
+                yield req
+                max_seen.append(res.in_use)
+                yield env.timeout(1.0)
+
+        for _ in range(n_procs):
+            env.process(proc(env))
+        env.run()
+        assert max(max_seen) <= capacity
+        assert res.in_use == 0
+
+
+class TestInfiniteResource:
+    def test_everything_granted_instantly(self):
+        env = Environment()
+        res = InfiniteResource(env)
+        log = []
+        for tag in range(50):
+            env.process(hold(env, res, log, tag, 5.0))
+        env.run(until=1.0)
+        starts = [t for t, kind, _ in log if kind == "start"]
+        assert len(starts) == 50
+        assert res.in_use == 50
+        assert res.queue_length == 0
+
+    def test_release(self):
+        env = Environment()
+        res = InfiniteResource(env)
+        log = []
+        env.process(hold(env, res, log, "a", 1.0))
+        env.run()
+        assert res.in_use == 0
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("x")
+
+        def getter(env):
+            item = yield store.get()
+            return item
+
+        assert env.run(until=env.process(getter(env))) == "x"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+
+        def getter(env):
+            item = yield store.get()
+            return (item, env.now)
+
+        def putter(env):
+            yield env.timeout(3.0)
+            store.put("late")
+
+        env.process(putter(env))
+        assert env.run(until=env.process(getter(env))) == ("late", 3.0)
+
+    def test_fifo_items_and_getters(self):
+        env = Environment()
+        store = Store(env)
+        results = []
+
+        def getter(env, tag):
+            item = yield store.get()
+            results.append((tag, item))
+
+        env.process(getter(env, "g1"))
+        env.process(getter(env, "g2"))
+
+        def putter(env):
+            yield env.timeout(1.0)
+            store.put("first")
+            store.put("second")
+
+        env.process(putter(env))
+        env.run()
+        assert results == [("g1", "first"), ("g2", "second")]
+
+    def test_len_and_items(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.items == [1, 2]

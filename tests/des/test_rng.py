@@ -1,0 +1,97 @@
+"""Tests for seeded random streams."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.des import RandomStream, StreamFactory
+
+
+class TestRandomStream:
+    def test_reproducible(self):
+        a = RandomStream(7)
+        b = RandomStream(7)
+        assert [a.exponential(2.0) for _ in range(10)] == [
+            b.exponential(2.0) for _ in range(10)
+        ]
+
+    def test_exponential_mean(self):
+        rng = RandomStream(1)
+        n = 20000
+        mean = sum(rng.exponential(3.0) for _ in range(n)) / n
+        assert mean == pytest.approx(3.0, rel=0.05)
+
+    def test_exponential_zero_mean(self):
+        assert RandomStream(1).exponential(0.0) == 0.0
+
+    def test_exponential_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).exponential(-1.0)
+
+    def test_uniform_int_bounds(self):
+        rng = RandomStream(2)
+        draws = [rng.uniform_int(4, 12) for _ in range(2000)]
+        assert min(draws) == 4
+        assert max(draws) == 12
+
+    def test_uniform_int_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).uniform_int(5, 4)
+
+    def test_bernoulli_probability(self):
+        rng = RandomStream(3)
+        n = 20000
+        hits = sum(rng.bernoulli(0.25) for _ in range(n))
+        assert hits / n == pytest.approx(0.25, abs=0.02)
+
+    def test_bernoulli_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).bernoulli(1.5)
+
+    def test_sample_without_replacement_distinct(self):
+        rng = RandomStream(4)
+        sample = rng.sample_without_replacement(1000, 12)
+        assert len(sample) == 12
+        assert len(set(sample)) == 12
+        assert all(0 <= x < 1000 for x in sample)
+
+    def test_sample_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).sample_without_replacement(5, 6)
+
+    @given(st.integers(min_value=1, max_value=100))
+    def test_sample_full_population(self, n):
+        sample = RandomStream(5).sample_without_replacement(n, n)
+        assert sorted(sample) == list(range(n))
+
+
+class TestStreamFactory:
+    def test_streams_are_cached(self):
+        f = StreamFactory(99)
+        assert f.stream("disks") is f.stream("disks")
+
+    def test_different_names_different_sequences(self):
+        f = StreamFactory(99)
+        a = [f.stream("a").random() for _ in range(5)]
+        b = [f.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_stable_across_factories(self):
+        xs = [StreamFactory(1).stream("terminals").random() for _ in range(1)]
+        ys = [StreamFactory(1).stream("terminals").random() for _ in range(1)]
+        assert xs == ys
+
+    def test_independent_of_creation_order(self):
+        f1 = StreamFactory(5)
+        f1.stream("first")
+        seq1 = [f1.stream("target").random() for _ in range(5)]
+        f2 = StreamFactory(5)
+        seq2 = [f2.stream("target").random() for _ in range(5)]
+        assert seq1 == seq2
+
+    def test_different_root_seeds_differ(self):
+        a = StreamFactory(1).stream("x").random()
+        b = StreamFactory(2).stream("x").random()
+        assert a != b

@@ -1,0 +1,122 @@
+"""Tests for the trace recorder and its engine integration."""
+
+import pytest
+
+from repro.des import TraceRecorder
+from repro.des.trace import TraceRecord
+
+
+class TestTraceRecorder:
+    def test_record_and_iterate(self):
+        tracer = TraceRecorder()
+        tracer.record(1.0, "commit", tx=7)
+        tracer.record(2.0, "restart", tx=8, reason="deadlock")
+        assert len(tracer) == 2
+        kinds = [record.kind for record in tracer]
+        assert kinds == ["commit", "restart"]
+
+    def test_field_access(self):
+        record = TraceRecord(1.5, "block", {"tx": 3, "obj": 9})
+        assert record.tx == 3
+        assert record.obj == 9
+        with pytest.raises(AttributeError):
+            record.nonexistent
+
+    def test_repr_contains_fields(self):
+        tracer = TraceRecorder()
+        tracer.record(1.0, "commit", tx=7)
+        text = repr(next(iter(tracer)))
+        assert "commit" in text
+        assert "tx=7" in text
+
+    def test_capacity_bounds_memory(self):
+        tracer = TraceRecorder(capacity=10)
+        for i in range(25):
+            tracer.record(float(i), "tick", n=i)
+        assert len(tracer) == 10
+        assert tracer.dropped == 15
+        assert [record.n for record in tracer] == list(range(15, 25))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_kind_filter_at_source(self):
+        tracer = TraceRecorder(kinds={"restart"})
+        tracer.record(1.0, "commit", tx=1)
+        tracer.record(2.0, "restart", tx=2)
+        assert len(tracer) == 1
+        assert tracer.counts == {"restart": 1}
+
+    def test_query_by_kind_time_and_fields(self):
+        tracer = TraceRecorder()
+        tracer.record(1.0, "block", tx=1)
+        tracer.record(2.0, "block", tx=2)
+        tracer.record(3.0, "commit", tx=1)
+        assert len(list(tracer.query(kind="block"))) == 2
+        assert len(list(tracer.query(since=2.5))) == 1
+        assert len(list(tracer.query(until=1.5))) == 1
+        assert len(list(tracer.query(tx=1))) == 2
+
+    def test_transaction_timeline(self):
+        tracer = TraceRecorder()
+        tracer.record(1.0, "submit", tx=5)
+        tracer.record(2.0, "commit", tx=5)
+        tracer.record(1.5, "submit", tx=6)
+        timeline = tracer.transaction_timeline(5)
+        assert [record.kind for record in timeline] == ["submit", "commit"]
+
+    def test_render(self):
+        tracer = TraceRecorder()
+        tracer.record(1.0, "submit", tx=5)
+        assert "submit" in tracer.render()
+
+
+class TestEngineIntegration:
+    @pytest.fixture
+    def traced_model(self):
+        from repro.core import SimulationParameters, SystemModel
+
+        params = SimulationParameters(
+            db_size=50, min_size=2, max_size=6, write_prob=0.5,
+            num_terms=10, mpl=8, ext_think_time=0.2,
+            obj_io=0.01, obj_cpu=0.005, num_cpus=None, num_disks=None,
+        )
+        tracer = TraceRecorder()
+        model = SystemModel(params, "blocking", seed=3, tracer=tracer)
+        model.run_until(20.0)
+        return model, tracer
+
+    def test_lifecycle_kinds_present(self, traced_model):
+        model, tracer = traced_model
+        assert tracer.counts["submit"] > 0
+        assert tracer.counts["admit"] > 0
+        assert tracer.counts["commit"] > 0
+        assert tracer.counts["block"] > 0
+
+    def test_counts_match_metrics(self, traced_model):
+        model, tracer = traced_model
+        assert tracer.counts["commit"] == model.metrics.commits.total
+        assert tracer.counts["block"] == model.metrics.blocks.total
+        assert tracer.counts["restart"] == model.metrics.restarts.total
+
+    def test_timeline_is_causally_ordered(self, traced_model):
+        model, tracer = traced_model
+        some_commit = next(iter(tracer.query(kind="commit")))
+        timeline = tracer.transaction_timeline(some_commit.tx)
+        assert timeline[0].kind == "submit"
+        assert timeline[-1].kind == "commit"
+        times = [record.time for record in timeline]
+        assert times == sorted(times)
+
+    def test_no_tracer_no_overhead_path(self):
+        from repro.core import SimulationParameters, SystemModel
+
+        params = SimulationParameters(
+            db_size=50, min_size=2, max_size=4, write_prob=0.2,
+            num_terms=5, mpl=5, ext_think_time=0.2,
+            obj_io=0.01, obj_cpu=0.005, num_cpus=None, num_disks=None,
+        )
+        model = SystemModel(params, "blocking", seed=3)
+        model.run_until(5.0)
+        assert model.tracer is None

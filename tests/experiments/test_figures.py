@@ -1,0 +1,85 @@
+"""Tests for the figure builders (shared sweeps, data extraction)."""
+
+import pytest
+
+from repro.core import RunConfig
+from repro.experiments import FIGURE_INDEX, FigureBuilder
+from repro.experiments import figures as figures_module
+
+TINY_RUN = RunConfig(batches=2, batch_time=5.0, warmup_batches=0, seed=17)
+TINY_MPLS = (5, 25)
+
+
+@pytest.fixture(scope="module")
+def builder():
+    return FigureBuilder(run=TINY_RUN, mpls=TINY_MPLS)
+
+
+class TestFigureBuilder:
+    def test_every_figure_function_exists(self):
+        for number in range(3, 22):
+            assert hasattr(figures_module, f"figure{number}")
+            assert callable(getattr(figures_module, f"figure{number}"))
+
+    def test_figure_out_of_range_rejected(self, builder):
+        with pytest.raises(ValueError):
+            builder.figure(2)
+        with pytest.raises(ValueError):
+            builder.figure(22)
+
+    def test_figure8_series_structure(self, builder):
+        data = builder.figure(8)
+        assert data.figure == 8
+        assert "1 CPU, 2 Disks" in data.title
+        assert set(data.series) == {"throughput"}
+        per_alg = data.series["throughput"]
+        assert set(per_alg) == {
+            "blocking", "immediate_restart", "optimistic"
+        }
+        for points in per_alg.values():
+            assert [mpl for mpl, _, _ in points] == list(TINY_MPLS)
+            for _, mean, ci in points:
+                assert mean >= 0
+                assert ci.n == TINY_RUN.batches
+
+    def test_figures_sharing_experiment_share_sweep(self, builder):
+        fig8 = builder.figure(8)
+        fig9 = builder.figure(9)
+        assert fig8.sweep is fig9.sweep  # one simulation, two figures
+
+    def test_figure9_has_both_utilizations(self, builder):
+        data = builder.figure(9)
+        assert set(data.series) == {"disk_util", "disk_util_useful"}
+
+    def test_values_and_peak_helpers(self, builder):
+        data = builder.figure(8)
+        values = data.values("throughput", "blocking")
+        assert len(values) == len(TINY_MPLS)
+        mpl, peak = data.peak("throughput", "blocking")
+        assert peak == max(v for _, v in values)
+
+    def test_describe_mentions_figure(self, builder):
+        text = builder.figure(8).describe()
+        assert "Figure 8" in text
+        assert "blocking" in text
+
+    def test_top_level_figure_function(self):
+        # The module-level figure builders are the documented one-call
+        # API; exercise one end-to-end with a minimal sweep.
+        from repro.core import RunConfig
+
+        data = figures_module.figure8(
+            run=RunConfig(batches=1, batch_time=4.0, warmup_batches=0,
+                          seed=31),
+            mpls=[5],
+        )
+        assert data.figure == 8
+        assert data.values("throughput", "blocking")
+
+    def test_useful_never_exceeds_total_utilization(self, builder):
+        data = builder.figure(9)
+        for algorithm in data.algorithms():
+            total = dict(data.values("disk_util", algorithm))
+            useful = dict(data.values("disk_util_useful", algorithm))
+            for mpl in total:
+                assert useful[mpl] <= total[mpl] + 1e-9

@@ -1,0 +1,94 @@
+"""Tests for ASCII report rendering."""
+
+import pytest
+
+from repro.core import RunConfig, SimulationParameters
+from repro.experiments import (
+    ExperimentConfig,
+    ascii_plot,
+    format_table,
+    run_sweep,
+    sweep_report,
+)
+from repro.experiments.report import metric_label
+
+TINY_RUN = RunConfig(batches=2, batch_time=5.0, warmup_batches=0, seed=23)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    params = SimulationParameters(
+        db_size=200, min_size=4, max_size=8, write_prob=0.25,
+        num_terms=10, mpl=5, ext_think_time=0.5,
+        obj_io=0.010, obj_cpu=0.005, num_cpus=1, num_disks=2,
+    )
+    config = ExperimentConfig(
+        experiment_id="report-test",
+        title="Report rendering test",
+        figures=(8,),
+        params=params,
+        algorithms=("blocking", "optimistic"),
+        mpls=(2, 5),
+        metrics=("throughput", "disk_util"),
+        notes="a note",
+    )
+    return run_sweep(config, run=TINY_RUN)
+
+
+class TestMetricLabels:
+    def test_known_metric(self):
+        assert "transactions/second" in metric_label("throughput")
+
+    def test_unknown_metric_passthrough(self):
+        assert metric_label("weird_metric") == "weird_metric"
+
+
+class TestFormatTable:
+    def test_contains_all_algorithms_and_mpls(self, sweep):
+        table = format_table(sweep, "throughput")
+        assert "blocking" in table
+        assert "optimistic" in table
+        assert "\n    2" in table
+        assert "\n    5" in table
+
+    def test_with_ci_shows_half_width(self, sweep):
+        table = format_table(sweep, "throughput", with_ci=True)
+        assert "±" in table
+
+    def test_values_are_numbers(self, sweep):
+        table = format_table(sweep, "throughput")
+        data_lines = [
+            line for line in table.splitlines()
+            if line and line[0] == " " and line.strip()[0].isdigit()
+        ]
+        assert len(data_lines) == 2
+
+
+class TestAsciiPlot:
+    def test_plot_contains_marks_and_legend(self, sweep):
+        plot = ascii_plot(sweep, "throughput")
+        assert "B=blocking" in plot
+        assert "O=optimistic" in plot
+        body = "\n".join(plot.splitlines()[1:-3])
+        assert "B" in body or "*" in body
+        assert "O" in body or "*" in body
+
+    def test_plot_handles_zero_values(self, sweep):
+        # Should not divide by zero even if a metric is all zeros.
+        plot = ascii_plot(sweep, "restart_ratio")
+        assert "max=" in plot
+
+
+class TestSweepReport:
+    def test_report_structure(self, sweep):
+        report = sweep_report(sweep)
+        assert "Report rendering test" in report
+        assert "figure(s) 8" in report
+        assert "a note" in report
+        assert "Throughput" in report
+        assert "Total Disk Utilization" in report
+        assert "wall time" in report
+
+    def test_report_without_plots(self, sweep):
+        report = sweep_report(sweep, with_plots=False)
+        assert "max=" not in report

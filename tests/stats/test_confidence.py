@@ -1,0 +1,79 @@
+"""Tests for Student-t quantiles and confidence intervals."""
+
+import math
+
+import pytest
+from scipy.stats import t as scipy_t
+
+from repro.stats import ConfidenceInterval, t_quantile
+from repro.stats.confidence import _T_TABLE, interval_from_samples
+
+
+class TestTQuantile:
+    @pytest.mark.parametrize("confidence", [0.90, 0.95, 0.99])
+    @pytest.mark.parametrize("df", [1, 2, 5, 10, 19, 30, 100, 500])
+    def test_matches_scipy(self, confidence, df):
+        expected = float(scipy_t.ppf(0.5 + confidence / 2.0, df))
+        assert t_quantile(confidence, df) == pytest.approx(expected, rel=1e-6)
+
+    def test_table_fallback_close_to_scipy(self):
+        # Validate the embedded table itself (used when scipy is absent).
+        for confidence, rows in _T_TABLE.items():
+            for df, value in rows.items():
+                if df is math.inf:
+                    continue
+                expected = float(scipy_t.ppf(0.5 + confidence / 2.0, df))
+                assert value == pytest.approx(expected, abs=5e-3)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            t_quantile(1.5, 10)
+        with pytest.raises(ValueError):
+            t_quantile(0.0, 10)
+
+    def test_rejects_bad_df(self):
+        with pytest.raises(ValueError):
+            t_quantile(0.9, 0)
+
+
+class TestConfidenceInterval:
+    def test_bounds(self):
+        ci = ConfidenceInterval(mean=10.0, half_width=2.0, confidence=0.9, n=20)
+        assert ci.low == 8.0
+        assert ci.high == 12.0
+        assert ci.contains(9.0)
+        assert not ci.contains(12.5)
+        assert ci.relative_half_width == pytest.approx(0.2)
+
+    def test_zero_mean_relative_width(self):
+        ci = ConfidenceInterval(mean=0.0, half_width=1.0, confidence=0.9, n=5)
+        assert ci.relative_half_width == math.inf
+        exact = ConfidenceInterval(mean=0.0, half_width=0.0, confidence=0.9, n=5)
+        assert exact.relative_half_width == 0.0
+
+    def test_str_shows_level(self):
+        ci = ConfidenceInterval(mean=1.0, half_width=0.1, confidence=0.9, n=20)
+        assert "90%" in str(ci)
+
+
+class TestIntervalFromSamples:
+    def test_single_sample_infinite_width(self):
+        ci = interval_from_samples([4.0])
+        assert ci.mean == 4.0
+        assert ci.half_width == math.inf
+
+    def test_identical_samples_zero_width(self):
+        ci = interval_from_samples([2.0] * 10)
+        assert ci.mean == 2.0
+        assert ci.half_width == 0.0
+
+    def test_known_case(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        ci = interval_from_samples(samples, confidence=0.95)
+        # mean 3, sample std sqrt(2.5), se = sqrt(0.5), t_{4,0.975}=2.776
+        assert ci.mean == pytest.approx(3.0)
+        assert ci.half_width == pytest.approx(2.776 * math.sqrt(0.5), rel=1e-3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            interval_from_samples([])

@@ -1,0 +1,119 @@
+"""Tests for the P² streaming quantile estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import P2Quantile
+
+
+class TestBasics:
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_empty(self):
+        assert P2Quantile(0.5).value == 0.0
+
+    def test_exact_for_few_observations(self):
+        q = P2Quantile(0.5)
+        for x in (5.0, 1.0, 3.0):
+            q.add(x)
+        assert q.value == 3.0
+
+    def test_count(self):
+        q = P2Quantile(0.9)
+        for x in range(10):
+            q.add(float(x))
+        assert q.count == 10
+
+    def test_repr(self):
+        q = P2Quantile(0.95)
+        q.add(1.0)
+        assert "0.95" in repr(q)
+
+
+class TestAccuracy:
+    def test_median_of_uniform_sequence(self):
+        q = P2Quantile(0.5)
+        for x in range(1, 1001):
+            q.add(float(x))
+        assert q.value == pytest.approx(500, rel=0.05)
+
+    def test_p95_of_uniform_sequence(self):
+        import random
+
+        rng = random.Random(1)
+        q = P2Quantile(0.95)
+        values = [rng.random() for _ in range(20_000)]
+        for x in values:
+            q.add(x)
+        assert q.value == pytest.approx(
+            float(np.percentile(values, 95)), abs=0.02
+        )
+
+    def test_median_of_exponential(self):
+        import random
+
+        rng = random.Random(2)
+        q = P2Quantile(0.5)
+        values = [rng.expovariate(1.0) for _ in range(20_000)]
+        for x in values:
+            q.add(x)
+        assert q.value == pytest.approx(
+            float(np.percentile(values, 50)), rel=0.05
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-1e4, max_value=1e4),
+            min_size=50,
+            max_size=500,
+        ),
+        st.sampled_from([0.25, 0.5, 0.9]),
+    )
+    def test_estimate_within_observed_range(self, values, p):
+        q = P2Quantile(p)
+        for x in values:
+            q.add(x)
+        assert min(values) <= q.value <= max(values)
+
+    def test_ordering_of_quantiles(self):
+        import random
+
+        rng = random.Random(3)
+        q50, q95 = P2Quantile(0.5), P2Quantile(0.95)
+        for _ in range(5000):
+            x = rng.expovariate(0.5)
+            q50.add(x)
+            q95.add(x)
+        assert q50.value < q95.value
+
+
+class TestModelIntegration:
+    def test_percentiles_in_run_totals(self):
+        from repro.core import (
+            RunConfig,
+            SimulationParameters,
+            run_simulation,
+        )
+
+        params = SimulationParameters(
+            db_size=200, min_size=4, max_size=8, write_prob=0.25,
+            num_terms=10, mpl=5, ext_think_time=0.5,
+            obj_io=0.010, obj_cpu=0.005, num_cpus=1, num_disks=2,
+        )
+        result = run_simulation(
+            params, "blocking",
+            RunConfig(batches=3, batch_time=10.0, warmup_batches=0,
+                      seed=2),
+        )
+        p50 = result.totals["response_time_p50"]
+        p95 = result.totals["response_time_p95"]
+        mean = result.totals["response_time_overall_mean"]
+        assert 0 < p50 <= p95
+        assert p50 < mean * 2

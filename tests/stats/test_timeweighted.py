@@ -1,0 +1,74 @@
+"""Tests for time-weighted (piecewise-constant) statistics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats import TimeWeighted
+
+
+class TestTimeWeighted:
+    def test_constant_signal(self):
+        tw = TimeWeighted(initial=3.0, start_time=0.0)
+        assert tw.time_average(now=10.0) == pytest.approx(3.0)
+
+    def test_step_signal(self):
+        tw = TimeWeighted(initial=0.0, start_time=0.0)
+        tw.update(2.0, now=1.0)
+        tw.update(4.0, now=3.0)
+        # areas: 0*1 + 2*2 + 4*1 = 8 over 4 time units
+        assert tw.time_average(now=4.0) == pytest.approx(2.0)
+
+    def test_add_is_relative(self):
+        tw = TimeWeighted(initial=1.0, start_time=0.0)
+        tw.add(2.0, now=5.0)
+        assert tw.value == 3.0
+
+    def test_empty_window_average_is_zero(self):
+        tw = TimeWeighted(initial=9.0, start_time=2.0)
+        assert tw.time_average(now=2.0) == 0.0
+
+    def test_rejects_time_reversal(self):
+        tw = TimeWeighted(initial=0.0, start_time=5.0)
+        with pytest.raises(ValueError):
+            tw.update(1.0, now=4.0)
+        with pytest.raises(ValueError):
+            tw.area(now=4.0)
+
+    def test_window_average(self):
+        tw = TimeWeighted(initial=1.0, start_time=0.0)
+        tw.update(5.0, now=10.0)
+        area_at_10 = tw.area(now=10.0)
+        tw.update(7.0, now=20.0)
+        # over [10, 30]: 5 for 10 units, 7 for 10 units
+        assert tw.window_average(area_at_10, 10.0, now=30.0) == pytest.approx(
+            6.0
+        )
+
+    def test_area_between_updates_uses_current_value(self):
+        tw = TimeWeighted(initial=2.0, start_time=0.0)
+        assert tw.area(now=3.0) == pytest.approx(6.0)
+        # asking for area must not mutate state
+        assert tw.area(now=4.0) == pytest.approx(8.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.001, max_value=10.0),
+                st.floats(min_value=-100.0, max_value=100.0),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_average_bounded_by_extremes(self, steps):
+        tw = TimeWeighted(initial=0.0, start_time=0.0)
+        now = 0.0
+        values = [0.0]
+        for dt, value in steps:
+            now += dt
+            tw.update(value, now=now)
+            values.append(value)
+        final = now + 1.0
+        avg = tw.time_average(now=final)
+        assert min(values) - 1e-9 <= avg <= max(values) + 1e-9

@@ -1,0 +1,32 @@
+"""Run the doctest examples embedded in module docstrings.
+
+The examples in docstrings are part of the documentation contract;
+these tests keep them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.des
+import repro.analytic.mva
+import repro.stats.quantile
+import repro.stats.timeweighted
+import repro.stats.welford
+
+MODULES = [
+    repro.des,
+    repro.stats.welford,
+    repro.stats.timeweighted,
+    repro.stats.quantile,
+    repro.analytic.mva,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[module.__name__ for module in MODULES]
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its examples"
+    assert results.failed == 0
