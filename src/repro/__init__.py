@@ -33,6 +33,12 @@ from repro.core import (
     run_simulation,
     run_until_precision,
 )
+from repro.faults import (
+    AccessFaultSpec,
+    CpuDegradationSpec,
+    DiskFaultSpec,
+    FaultSpec,
+)
 
 __version__ = "1.0.0"
 
@@ -44,6 +50,10 @@ __all__ = [
     "run_simulation",
     "run_until_precision",
     "SimulationResult",
+    "FaultSpec",
+    "DiskFaultSpec",
+    "CpuDegradationSpec",
+    "AccessFaultSpec",
     "PAPER_ALGORITHMS",
     "PAPER_MPLS",
     "algorithm_names",

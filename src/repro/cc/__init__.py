@@ -20,6 +20,7 @@ from repro.cc.base import (
 )
 from repro.cc.blocking import BlockingCC
 from repro.cc.errors import (
+    REASON_ACCESS_FAULT,
     REASON_DEADLOCK,
     REASON_LOCK_CONFLICT,
     REASON_TIMESTAMP,
@@ -73,6 +74,7 @@ __all__ = [
     "REASON_VALIDATION",
     "REASON_TIMESTAMP",
     "REASON_WOUND",
+    "REASON_ACCESS_FAULT",
     "DELAY_NONE",
     "DELAY_ADAPTIVE",
     "INSTALL_AT_PRE_COMMIT",

@@ -35,3 +35,6 @@ REASON_LOCK_CONFLICT = "lock_conflict"
 REASON_VALIDATION = "validation_failure"
 REASON_TIMESTAMP = "timestamp_order"
 REASON_WOUND = "wounded"
+# Raised by the fault injector (repro.faults), not by any CC algorithm:
+# a transient object-access fault forced the restart.
+REASON_ACCESS_FAULT = "access_fault"

@@ -35,6 +35,7 @@ from repro.core.store import ObjectStore
 from repro.core.transaction import TxState
 from repro.core.workload import WorkloadGenerator
 from repro.des import Environment, Interrupt, StreamFactory
+from repro.faults import FaultInjector
 
 
 class CommittedRecord:
@@ -88,6 +89,15 @@ class SystemModel:
         # workload source; ReplayWorkload substitutes recorded traces.
         self.workload = workload or WorkloadGenerator(params, self.streams)
         self.physical = PhysicalModel(self.env, params, self.streams)
+        #: Fault injector driving params.faults, or None when the run
+        #: is healthy. A null spec starts no injector at all, so the
+        #: healthy path stays bit-identical to pre-fault builds.
+        self.fault_injector = None
+        if params.faults is not None and not params.faults.is_null:
+            self.fault_injector = FaultInjector(
+                self.env, params.faults, self.physical, self.streams,
+                trace=self._trace,
+            ).start()
         self.metrics = MetricsCollector(self.env, params, self.physical)
         self.store = ObjectStore()
         self.ready_queue = deque()

@@ -10,6 +10,8 @@ import math
 from dataclasses import dataclass, fields, replace
 from typing import Optional, Tuple
 
+from repro.faults.spec import FaultSpec
+
 # Restart-delay modes (how restarted transactions are delayed before
 # re-entering the ready queue).
 DELAY_MODE_DEFAULT = "default"        # each algorithm's own policy
@@ -137,6 +139,11 @@ class SimulationParameters:
     #: draws its class by weight and uses that class's size and write
     #: probability.
     workload_mix: Optional[Tuple[TransactionClass, ...]] = None
+    #: Fault injection (None = the paper's always-healthy resources).
+    #: See :mod:`repro.faults`: disk crash/repair, CPU degradation
+    #: windows, transient access faults — all seeded from dedicated RNG
+    #: streams, so a null spec reproduces the healthy run bit-for-bit.
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self):
         if self.workload_mix is not None and not isinstance(
@@ -216,6 +223,16 @@ class SimulationParameters:
                 f"lock_granules must be in [1, db_size], "
                 f"got {self.lock_granules}"
             )
+        if self.faults is not None:
+            if not isinstance(self.faults, FaultSpec):
+                raise TypeError(
+                    f"faults must be a FaultSpec, got {type(self.faults)!r}"
+                )
+            if self.faults.disk is not None and self.num_disks is None:
+                raise ValueError(
+                    "disk faults require finite disks; set num_disks or "
+                    "drop FaultSpec.disk"
+                )
         if self.workload_mix is not None:
             if not self.workload_mix:
                 raise ValueError("workload_mix must not be empty")

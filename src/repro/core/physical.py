@@ -29,6 +29,9 @@ class PhysicalModel:
         self.env = env
         self.params = params
         self._disk_rng = streams.stream("physical.disk_choice")
+        #: Optional repro.faults.FaultInjector; set by its start().
+        #: None (the default) is the always-healthy physical model.
+        self.faults = None
 
         if params.num_cpus is None:
             self.cpu = InfiniteResource(env)
@@ -56,9 +59,16 @@ class PhysicalModel:
     # the partial service time is still charged and the server released.
 
     def cpu_service(self, tx, amount, priority=OBJECT_PRIORITY):
-        """Hold one CPU server for ``amount`` seconds."""
+        """Hold one CPU server for ``amount`` seconds.
+
+        Under an injected CPU degradation window the demand is
+        multiplied by the factor in effect when service *starts* (a
+        window boundary does not stretch service already in progress).
+        """
         if amount <= 0.0:
             return
+        if self.faults is not None:
+            amount *= self.faults.cpu_factor
         with self.cpu.request(priority=priority) as request:
             yield request
             self.cpu_tracker.acquire()
@@ -87,12 +97,25 @@ class PhysicalModel:
     # -- model-level composites -----------------------------------------------
 
     def read_access(self, tx):
-        """Read one object: obj_io of disk, then obj_cpu of CPU."""
+        """Read one object: obj_io of disk, then obj_cpu of CPU.
+
+        With fault injection, the access may fault first (raising
+        RestartTransaction before any service is consumed).
+        """
+        if self.faults is not None:
+            self.faults.check_access_fault(tx)
         yield from self.disk_service(tx, self.params.obj_io)
         yield from self.cpu_service(tx, self.params.obj_cpu)
 
     def write_request_work(self, tx):
-        """CPU work at write-request time (updates are deferred)."""
+        """CPU work at write-request time (updates are deferred).
+
+        Subject to transient access faults like reads; deferred updates
+        at commit time are not (past the commit point the transaction
+        can no longer abort).
+        """
+        if self.faults is not None:
+            self.faults.check_access_fault(tx)
         yield from self.cpu_service(tx, self.params.obj_cpu)
 
     def deferred_update(self, tx):

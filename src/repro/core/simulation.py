@@ -20,6 +20,26 @@ from repro.stats import BatchMeansAnalyzer
 __all__ = ["SimulationResult", "run_simulation", "run_until_precision"]
 
 
+def _collect_totals(model):
+    """Cumulative whole-run totals (shared by both drivers)."""
+    totals = {
+        "commits": model.metrics.commits.total,
+        "restarts": model.metrics.restarts.total,
+        "blocks": model.metrics.blocks.total,
+        "restart_reasons": dict(model.metrics.restart_reasons),
+        "transactions_generated": model.workload.generated,
+        "simulated_time": model.env.now,
+        "response_time_overall_mean": model.metrics.response_times.mean,
+        "response_time_overall_std": model.metrics.response_times.std,
+        "response_time_p50": model.metrics.response_p50.value,
+        "response_time_p95": model.metrics.response_p95.value,
+        "per_class": model.metrics.per_class_summary(model.env.now),
+    }
+    if model.fault_injector is not None:
+        totals["faults"] = model.fault_injector.summary()
+    return totals
+
+
 @dataclass
 class SimulationResult:
     """Everything measured by one simulation run."""
@@ -65,7 +85,7 @@ class SimulationResult:
 
 
 def run_simulation(params, algorithm="blocking", run=None, seed=None,
-                   record_history=False):
+                   record_history=False, batch_callback=None):
     """Run one configuration to completion using modified batch means.
 
     ``run.warmup_batches`` initial batches are simulated but discarded;
@@ -73,6 +93,12 @@ def run_simulation(params, algorithm="blocking", run=None, seed=None,
     ``seed`` overrides ``run.seed`` when given. With ``record_history``
     the result keeps the model (and its committed history) for
     verification — costs memory, off by default.
+
+    ``batch_callback``, if given, is invoked with the model after every
+    batch boundary (warmup included). It exists for run supervision —
+    the sweep runner's stall watchdog and wall-clock deadline live
+    there — and may raise to abort the run; the exception propagates
+    to the caller unchanged.
     """
     if run is None:
         run = RunConfig()
@@ -92,19 +118,9 @@ def run_simulation(params, algorithm="blocking", run=None, seed=None,
         snapshot = model.metrics.snapshot()
         model.run_until((batch_index + 1) * run.batch_time)
         analyzer.record(model.metrics.batch_values(snapshot))
-    totals = {
-        "commits": model.metrics.commits.total,
-        "restarts": model.metrics.restarts.total,
-        "blocks": model.metrics.blocks.total,
-        "restart_reasons": dict(model.metrics.restart_reasons),
-        "transactions_generated": model.workload.generated,
-        "simulated_time": model.env.now,
-        "response_time_overall_mean": model.metrics.response_times.mean,
-        "response_time_overall_std": model.metrics.response_times.std,
-        "response_time_p50": model.metrics.response_p50.value,
-        "response_time_p95": model.metrics.response_p95.value,
-        "per_class": model.metrics.per_class_summary(model.env.now),
-    }
+        if batch_callback is not None:
+            batch_callback(model)
+    totals = _collect_totals(model)
     return SimulationResult(
         algorithm=model.cc.name,
         params=params,
@@ -157,19 +173,7 @@ def run_until_precision(params, algorithm="blocking", run=None,
                 break
         if retained >= max_batches:
             break
-    totals = {
-        "commits": model.metrics.commits.total,
-        "restarts": model.metrics.restarts.total,
-        "blocks": model.metrics.blocks.total,
-        "restart_reasons": dict(model.metrics.restart_reasons),
-        "transactions_generated": model.workload.generated,
-        "simulated_time": model.env.now,
-        "response_time_overall_mean": model.metrics.response_times.mean,
-        "response_time_overall_std": model.metrics.response_times.std,
-        "response_time_p50": model.metrics.response_p50.value,
-        "response_time_p95": model.metrics.response_p95.value,
-        "per_class": model.metrics.per_class_summary(model.env.now),
-    }
+    totals = _collect_totals(model)
     return SimulationResult(
         algorithm=model.cc.name,
         params=params,

@@ -13,17 +13,32 @@ from repro.experiments.configs import (
     ExperimentConfig,
     experiment_configs,
 )
+from repro.experiments.errors import (
+    CheckpointMismatchError,
+    ExperimentError,
+    PointDeadlineExceeded,
+    PointExecutionError,
+    SimulationStalledError,
+)
 from repro.experiments.figures import FIGURE_TITLES, FigureBuilder, FigureData
 from repro.experiments.export import (
     rows_to_csv_text,
     sweep_to_rows,
     write_csv,
 )
-from repro.experiments.persistence import load_sweep, save_sweep
+from repro.experiments.persistence import (
+    SweepCheckpoint,
+    load_sweep,
+    save_sweep,
+)
 from repro.experiments.report import ascii_plot, format_table, sweep_report
 from repro.experiments.runner import (
     DEFAULT_RUN,
     QUICK_RUN,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_RETRIED,
+    PointStatus,
     SweepResult,
     run_sweep,
 )
@@ -47,4 +62,14 @@ __all__ = [
     "rows_to_csv_text",
     "save_sweep",
     "load_sweep",
+    "SweepCheckpoint",
+    "PointStatus",
+    "STATUS_OK",
+    "STATUS_RETRIED",
+    "STATUS_FAILED",
+    "ExperimentError",
+    "PointExecutionError",
+    "SimulationStalledError",
+    "PointDeadlineExceeded",
+    "CheckpointMismatchError",
 ]

@@ -10,15 +10,27 @@ Examples::
 
     # everything in the paper (takes a while)
     repro-experiments --all
+
+    # resilient long sweep: per-point budgets, retries, checkpointing;
+    # re-running with --resume skips the points already on disk
+    repro-experiments --experiment exp3_finite --batches 20 \
+        --deadline 600 --stall-timeout 120 --retries 1 \
+        --checkpoint ckpts --resume
+
+    # availability study: paper experiment under injected disk crashes
+    repro-experiments --experiment exp6_disk_faults --quick
+    repro-experiments --figure 8 --quick --inject disk_storm
 """
 
 import argparse
 import sys
 
 from repro.experiments.configs import FIGURE_INDEX, experiment_configs
+from repro.experiments.errors import CheckpointMismatchError
 from repro.experiments.figures import FigureBuilder
 from repro.experiments.report import sweep_report
 from repro.experiments.runner import DEFAULT_RUN, QUICK_RUN, print_progress
+from repro.faults import scenario, scenario_names
 
 
 def build_parser():
@@ -69,6 +81,48 @@ def build_parser():
         "--csv", metavar="PATH",
         help="also write the swept series to a CSV file",
     )
+    resilience = parser.add_argument_group(
+        "resilient execution",
+        "supervise each (algorithm, mpl) point instead of letting one "
+        "bad point kill the sweep",
+    )
+    resilience.add_argument(
+        "--deadline", type=float, metavar="SECONDS", default=None,
+        help="wall-clock budget per sweep point (checked each batch)",
+    )
+    resilience.add_argument(
+        "--stall-timeout", type=float, metavar="SIM_SECONDS", default=None,
+        help=(
+            "fail a point after this many simulated seconds without a "
+            "single commit (livelock watchdog)"
+        ),
+    )
+    resilience.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="reseeded retries per failed point (default: 0)",
+    )
+    resilience.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help=(
+            "flush each completed point to DIR/<experiment>.ckpt.jsonl "
+            "as the sweep runs"
+        ),
+    )
+    resilience.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "with --checkpoint: skip points already recorded and "
+            "simulate only the missing ones"
+        ),
+    )
+    parser.add_argument(
+        "--inject", choices=scenario_names(), default=None,
+        metavar="SCENARIO",
+        help=(
+            "overlay a named fault scenario on every experiment "
+            f"(choices: {', '.join(scenario_names())})"
+        ),
+    )
     return parser
 
 
@@ -87,13 +141,44 @@ def resolve_run(args):
 
 
 def main(argv=None):
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.deadline is not None and args.deadline <= 0:
+        parser.error(f"--deadline must be > 0, got {args.deadline}")
+    if args.stall_timeout is not None and args.stall_timeout <= 0:
+        parser.error(
+            f"--stall-timeout must be > 0, got {args.stall_timeout}"
+        )
+    try:
+        return _dispatch(args)
+    except CheckpointMismatchError as error:
+        print(f"repro-experiments: error: {error}", file=sys.stderr)
+        print(
+            "repro-experiments: the checkpoint was written by a "
+            "different sweep; re-run with the matching options, or "
+            "drop --resume to start fresh",
+            file=sys.stderr,
+        )
+        return 2
+
+
+def _dispatch(args):
     run = resolve_run(args)
     builder = FigureBuilder(
         run=run,
         mpls=args.mpls,
         algorithms=args.algorithms,
         progress=print_progress,
+        inject=scenario(args.inject) if args.inject else None,
+        checkpoint_dir=args.checkpoint,
+        resume=args.resume,
+        deadline=args.deadline,
+        stall_timeout=args.stall_timeout,
+        retries=args.retries,
     )
     configs = experiment_configs()
     if args.figure is not None:
@@ -103,7 +188,7 @@ def main(argv=None):
         print(data.describe())
         if args.csv:
             _export_csv([data.sweep], args.csv)
-        return 0
+        return 0 if data.sweep.complete else 1
     if args.experiment is not None:
         experiment_ids = [args.experiment]
     elif args.all:
@@ -119,7 +204,8 @@ def main(argv=None):
         print()
     if args.csv:
         _export_csv(sweeps, args.csv)
-    return 0
+    # Partial results exit 1 so schedulers notice degraded sweeps.
+    return 0 if all(sweep.complete for sweep in sweeps) else 1
 
 
 def _export_csv(sweeps, path):

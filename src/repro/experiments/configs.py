@@ -16,6 +16,7 @@ from repro.core import (
     PAPER_MPLS,
     SimulationParameters,
 )
+from repro.faults import DiskFaultSpec, FaultSpec
 
 
 @dataclass(frozen=True)
@@ -152,6 +153,24 @@ def experiment_configs():
             params=_table2(int_think_time=5.0, ext_think_time=11.0),
             metrics=("throughput", "disk_util", "disk_util_useful"),
             notes="Optimistic overtakes blocking at 5 s (Figure 18).",
+        ),
+        ExperimentConfig(
+            experiment_id="exp6_disk_faults",
+            title="Experiment 6: Disk Failures (Blocking vs. Optimistic)",
+            figures=(),
+            params=_table2(
+                faults=FaultSpec(disk=DiskFaultSpec(mttf=60.0, mttr=5.0))
+            ),
+            algorithms=("blocking", "optimistic"),
+            metrics=("throughput", "disk_util", "restart_ratio"),
+            notes=(
+                "Beyond the paper: Table 2 resources, but each disk "
+                "crashes about once a minute (MTTF 60 s) and repairs in "
+                "~5 s. Downtime stalls the failed disk's queue, so "
+                "lock-holding transactions wait and contention spreads; "
+                "the blocking-vs-optimistic verdict is re-examined with "
+                "availability in the picture."
+            ),
         ),
         ExperimentConfig(
             experiment_id="exp5_think_10s",

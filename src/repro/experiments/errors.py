@@ -1,0 +1,70 @@
+"""Structured error taxonomy for resilient experiment execution.
+
+Everything the hardened sweep runner can report sits under
+:class:`ExperimentError`, so callers distinguish "this sweep point went
+bad" (catchable, degradable) from programming errors (which propagate).
+
+Hierarchy::
+
+    ExperimentError
+    ├── PointExecutionError          one (algorithm, mpl) point went bad
+    │   ├── SimulationStalledError   no commits for N simulated seconds
+    │   └── PointDeadlineExceeded    wall-clock budget exhausted
+    └── CheckpointMismatchError      checkpoint belongs to another sweep
+"""
+
+__all__ = [
+    "ExperimentError",
+    "PointExecutionError",
+    "SimulationStalledError",
+    "PointDeadlineExceeded",
+    "CheckpointMismatchError",
+]
+
+
+class ExperimentError(Exception):
+    """Base class for experiment-execution failures."""
+
+
+class PointExecutionError(ExperimentError):
+    """One sweep point failed (watchdog trip or simulation pathology)."""
+
+
+class SimulationStalledError(PointExecutionError):
+    """The livelock watchdog tripped: no commits for too long.
+
+    Raised when a run produces no commit for ``stall_timeout``
+    *simulated* seconds — the signature of a livelocked or pathological
+    configuration (e.g. a CC algorithm that blocks every transaction
+    forever while the clock idles forward on think-time events).
+    """
+
+    def __init__(self, stalled_for, simulated_time, commits):
+        super().__init__(
+            f"no commits for {stalled_for:.1f} simulated seconds "
+            f"(t={simulated_time:.1f}, {commits} commits so far)"
+        )
+        self.stalled_for = stalled_for
+        self.simulated_time = simulated_time
+        self.commits = commits
+
+
+class PointDeadlineExceeded(PointExecutionError):
+    """One sweep point exceeded its wall-clock budget."""
+
+    def __init__(self, elapsed, deadline):
+        super().__init__(
+            f"point exceeded its wall-clock deadline: "
+            f"{elapsed:.4g}s elapsed > {deadline:.4g}s allowed"
+        )
+        self.elapsed = elapsed
+        self.deadline = deadline
+
+
+class CheckpointMismatchError(ExperimentError):
+    """A checkpoint file does not match the sweep being resumed.
+
+    Resuming replays recorded points verbatim, so the experiment id and
+    run configuration must match exactly; anything else would silently
+    mix results from different settings.
+    """

@@ -7,7 +7,8 @@ plots. Sweeps are cached per (experiment, run-config) within a
 Experiment 2's sweep — simulates once.
 """
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Tuple
 
 from repro.experiments.configs import FIGURE_INDEX, experiment_configs
@@ -80,26 +81,57 @@ FIGURE_TITLES = {
 
 class FigureBuilder:
     """Builds paper figures, sharing sweeps across figures of one
-    experiment."""
+    experiment.
 
-    def __init__(self, run=None, mpls=None, algorithms=None, progress=None):
+    ``inject`` overlays a :class:`~repro.faults.FaultSpec` onto every
+    experiment's parameters (the CLI's ``--inject``); ``checkpoint_dir``
+    checkpoints each experiment's sweep to
+    ``<dir>/<experiment_id>.ckpt.jsonl`` (created on demand); other
+    ``sweep_options`` are forwarded to :func:`run_sweep` verbatim
+    (deadline, retries, stall_timeout, resume, ...).
+    """
+
+    def __init__(self, run=None, mpls=None, algorithms=None, progress=None,
+                 inject=None, checkpoint_dir=None, **sweep_options):
         self.run = run or DEFAULT_RUN
         self.mpls = mpls
         self.algorithms = algorithms
         self.progress = progress
+        self.inject = inject
+        self.checkpoint_dir = checkpoint_dir
+        self.sweep_options = sweep_options
         self._configs = experiment_configs()
         self._sweeps = {}
+
+    def checkpoint_path(self, experiment_id):
+        """This experiment's checkpoint file (None without a dir)."""
+        if self.checkpoint_dir is None:
+            return None
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        return os.path.join(
+            self.checkpoint_dir, f"{experiment_id}.ckpt.jsonl"
+        )
+
+    def config_for(self, experiment_id):
+        """The experiment config, with any injected faults applied."""
+        config = self._configs[experiment_id]
+        if self.inject is not None:
+            config = replace(
+                config, params=config.params.with_changes(faults=self.inject)
+            )
+        return config
 
     def sweep_for(self, experiment_id):
         """The (cached) sweep of one experiment."""
         if experiment_id not in self._sweeps:
-            config = self._configs[experiment_id]
             self._sweeps[experiment_id] = run_sweep(
-                config,
+                self.config_for(experiment_id),
                 run=self.run,
                 mpls=self.mpls,
                 algorithms=self.algorithms,
                 progress=self.progress,
+                checkpoint=self.checkpoint_path(experiment_id),
+                **self.sweep_options,
             )
         return self._sweeps[experiment_id]
 

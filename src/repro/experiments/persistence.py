@@ -1,4 +1,4 @@
-"""Saving and reloading experiment sweeps.
+"""Saving and reloading experiment sweeps, and sweep checkpoints.
 
 Full-fidelity sweeps take real time; this module persists everything a
 report or shape-check needs — the per-batch values of every output
@@ -11,19 +11,84 @@ ones (they are rebuilt on real ``BatchMeansAnalyzer``s).
     save_sweep(sweep, "exp3.json")
     ...
     sweep = load_sweep("exp3.json")   # plot/report without resimulating
+
+:class:`SweepCheckpoint` is the incremental sibling used by the
+resilient runner: an append-only JSONL file holding one header line
+plus one line per completed point (failed points included, so their
+statuses survive), flushed and fsynced as each point finishes.  A sweep
+killed mid-flight resumes by loading the checkpoint and re-running only
+the missing points::
+
+    run_sweep(config, checkpoint="exp3.ckpt.jsonl")            # killed...
+    run_sweep(config, checkpoint="exp3.ckpt.jsonl", resume=True)
 """
 
 import json
+import os
 from dataclasses import asdict
 
 from repro.core import RunConfig
 from repro.core.simulation import SimulationResult
 from repro.experiments.configs import experiment_configs
-from repro.experiments.runner import SweepResult
+from repro.experiments.errors import CheckpointMismatchError
+from repro.experiments.runner import PointStatus, SweepResult
 from repro.stats import BatchMeansAnalyzer
 
 #: Format marker for forward compatibility.
 FORMAT = "repro-sweep-v1"
+
+#: Format marker of the incremental checkpoint file.
+CHECKPOINT_FORMAT = "repro-sweep-checkpoint-v1"
+
+
+def _point_payload(result):
+    """The serializable measurement payload of one successful point."""
+    return {
+        "series": {
+            name: result.analyzer.series(name).values
+            for name in result.analyzer.names()
+        },
+        "totals": _jsonable(result.totals),
+    }
+
+
+def _rebuild_result(algorithm, mpl, series, totals, config, run):
+    """Reconstruct a SimulationResult from its saved batch series."""
+    analyzer = BatchMeansAnalyzer(
+        warmup_batches=0, confidence=run.confidence
+    )
+    length = max((len(v) for v in series.values()), default=0)
+    for index in range(length):
+        analyzer.record({
+            name: values[index]
+            for name, values in series.items()
+            if index < len(values)
+        })
+    return SimulationResult(
+        algorithm=algorithm,
+        params=config.params_for(mpl),
+        run=run,
+        analyzer=analyzer,
+        totals=totals or {},
+    )
+
+
+def _status_document(status):
+    return {
+        "status": status.status,
+        "attempts": status.attempts,
+        "error": status.error,
+        "wall_seconds": status.wall_seconds,
+    }
+
+
+def _status_from_document(document):
+    return PointStatus(
+        status=document["status"],
+        attempts=document.get("attempts", 1),
+        error=document.get("error"),
+        wall_seconds=document.get("wall_seconds", 0.0),
+    )
 
 
 def save_sweep(sweep, path):
@@ -37,13 +102,17 @@ def save_sweep(sweep, path):
             {
                 "algorithm": algorithm,
                 "mpl": mpl,
-                "series": {
-                    name: result.analyzer.series(name).values
-                    for name in result.analyzer.names()
-                },
-                "totals": _jsonable(result.totals),
+                **_point_payload(result),
             }
             for (algorithm, mpl), result in sorted(sweep.results.items())
+        ],
+        "statuses": [
+            {
+                "algorithm": algorithm,
+                "mpl": mpl,
+                **_status_document(status),
+            }
+            for (algorithm, mpl), status in sorted(sweep.statuses.items())
         ],
     }
     with open(path, "w") as f:
@@ -56,7 +125,8 @@ def load_sweep(path):
 
     The experiment config is resolved from the current registry by id;
     an unknown id (e.g. a renamed preset) is an error rather than a
-    silent mismatch.
+    silent mismatch.  Documents written before per-point statuses
+    existed load with an empty status map.
     """
     with open(path) as f:
         document = json.load(f)
@@ -77,26 +147,119 @@ def load_sweep(path):
     sweep = SweepResult(config=config, run=run)
     sweep.wall_seconds = document.get("wall_seconds", 0.0)
     for point in document["points"]:
-        analyzer = BatchMeansAnalyzer(
-            warmup_batches=0, confidence=run.confidence
-        )
-        series = point["series"]
-        length = max((len(v) for v in series.values()), default=0)
-        for index in range(length):
-            analyzer.record({
-                name: values[index]
-                for name, values in series.items()
-                if index < len(values)
-            })
         mpl = point["mpl"]
-        sweep.results[(point["algorithm"], mpl)] = SimulationResult(
-            algorithm=point["algorithm"],
-            params=config.params_for(mpl),
-            run=run,
-            analyzer=analyzer,
-            totals=point.get("totals", {}),
+        sweep.results[(point["algorithm"], mpl)] = _rebuild_result(
+            point["algorithm"], mpl, point["series"],
+            point.get("totals", {}), config, run,
+        )
+    for entry in document.get("statuses", []):
+        sweep.statuses[(entry["algorithm"], entry["mpl"])] = (
+            _status_from_document(entry)
         )
     return sweep
+
+
+class SweepCheckpoint:
+    """Append-only per-point checkpoint of one sweep (JSONL).
+
+    Line 1 is a header binding the file to (experiment id, run config);
+    each further line records one completed point — its status always,
+    its measurement payload when it succeeded.  Writes are flushed and
+    fsynced so a killed process loses at most the in-flight point; a
+    truncated trailing line (the kill arrived mid-write) is ignored on
+    load.
+    """
+
+    def __init__(self, path, config, run):
+        self.path = path
+        self.config = config
+        self.run = run
+
+    def exists(self):
+        return os.path.exists(self.path)
+
+    def _faults_signature(self):
+        faults = getattr(self.config.params, "faults", None)
+        return None if faults is None else faults.describe()
+
+    def start_fresh(self):
+        """Truncate and write the header line."""
+        header = {
+            "format": CHECKPOINT_FORMAT,
+            "experiment_id": self.config.experiment_id,
+            "run": asdict(self.run),
+            "faults": self._faults_signature(),
+        }
+        with open(self.path, "w") as f:
+            f.write(json.dumps(header) + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+
+    def record(self, algorithm, mpl, result, status):
+        """Append one completed point (result is None for failures)."""
+        line = {
+            "algorithm": algorithm,
+            "mpl": mpl,
+            "status": _status_document(status),
+        }
+        if result is not None:
+            line.update(_point_payload(result))
+        with open(self.path, "a") as f:
+            f.write(json.dumps(line) + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+
+    def load_into(self, sweep):
+        """Restore recorded points into ``sweep``; returns their count.
+
+        Raises :class:`CheckpointMismatchError` unless the header's
+        experiment id and run configuration match this sweep exactly —
+        resuming replays points verbatim, so a mismatch would silently
+        mix results from different settings.
+        """
+        with open(self.path) as f:
+            lines = f.read().splitlines()
+        if not lines:
+            return 0
+        header = json.loads(lines[0])
+        if header.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointMismatchError(
+                f"{self.path}: not a sweep checkpoint "
+                f"(format {header.get('format')!r})"
+            )
+        if header.get("experiment_id") != self.config.experiment_id:
+            raise CheckpointMismatchError(
+                f"{self.path}: checkpoint is for experiment "
+                f"{header.get('experiment_id')!r}, not "
+                f"{self.config.experiment_id!r}"
+            )
+        if header.get("run") != asdict(self.run):
+            raise CheckpointMismatchError(
+                f"{self.path}: checkpoint run configuration "
+                f"{header.get('run')!r} does not match {asdict(self.run)!r}"
+            )
+        if header.get("faults") != self._faults_signature():
+            raise CheckpointMismatchError(
+                f"{self.path}: checkpoint fault injection "
+                f"{header.get('faults')!r} does not match "
+                f"{self._faults_signature()!r}"
+            )
+        restored = 0
+        for raw in lines[1:]:
+            try:
+                point = json.loads(raw)
+            except json.JSONDecodeError:
+                break  # truncated trailing line from a mid-write kill
+            algorithm, mpl = point["algorithm"], point["mpl"]
+            status = _status_from_document(point["status"])
+            sweep.statuses[(algorithm, mpl)] = status
+            if "series" in point:
+                sweep.results[(algorithm, mpl)] = _rebuild_result(
+                    algorithm, mpl, point["series"],
+                    point.get("totals", {}), self.config, self.run,
+                )
+            restored += 1
+        return restored
 
 
 def _jsonable(value):

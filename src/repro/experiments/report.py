@@ -106,12 +106,13 @@ def ascii_plot(sweep, metric, height=14, width=64):
 def sweep_report(sweep, with_plots=True):
     """Full textual report of one experiment sweep."""
     config = sweep.config
-    lines = [
-        "=" * 72,
-        config.title,
-        f"(regenerates paper figure(s) {', '.join(map(str, config.figures))})",
-        "=" * 72,
-    ]
+    lines = ["=" * 72, config.title]
+    if config.figures:
+        lines.append(
+            "(regenerates paper figure(s) "
+            f"{', '.join(map(str, config.figures))})"
+        )
+    lines.append("=" * 72)
     if config.notes:
         lines.append(config.notes)
         lines.append("")
@@ -121,6 +122,16 @@ def sweep_report(sweep, with_plots=True):
         if with_plots:
             lines.append(ascii_plot(sweep, metric))
             lines.append("")
+    failed = sweep.failed_points()
+    if failed:
+        lines.append("FAILED POINTS (excluded from tables above):")
+        for algorithm, mpl in failed:
+            status = sweep.status(algorithm, mpl)
+            lines.append(
+                f"  {algorithm} mpl={mpl}: {status.error} "
+                f"(after {status.attempts} attempt(s))"
+            )
+        lines.append("")
     lines.append(
         f"[swept {len(sweep.results)} configurations in "
         f"{sweep.wall_seconds:.1f}s wall time; "

@@ -1,12 +1,25 @@
-"""Sweep runner: algorithms x multiprogramming levels for one experiment."""
+"""Sweep runner: algorithms x multiprogramming levels for one experiment.
+
+The runner is *resilient*: a sweep no longer dies on its first bad
+point.  Each (algorithm, mpl) point can be supervised by a wall-clock
+deadline and a simulated-time livelock watchdog, retried with a
+reseeded RNG, and checkpointed to disk as soon as it completes, so a
+killed multi-hour sweep resumes where it stopped and a pathological
+point degrades the sweep to partial results instead of losing it.
+"""
 
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
+from repro.cc.registry import algorithm_names
 from repro.core import RunConfig, run_simulation
-
+from repro.experiments.errors import (
+    PointDeadlineExceeded,
+    PointExecutionError,
+    SimulationStalledError,
+)
 
 #: Run controls sized for a laptop. The paper used 20 batches with a
 #: "large batch time" on a VAX cluster; these defaults produce the same
@@ -17,19 +30,75 @@ DEFAULT_RUN = RunConfig(batches=6, batch_time=25.0, warmup_batches=1)
 #: An even quicker profile for smoke tests and pytest-benchmark runs.
 QUICK_RUN = RunConfig(batches=3, batch_time=12.0, warmup_batches=1)
 
+# Per-point outcomes (stable strings; they appear in checkpoints).
+STATUS_OK = "ok"
+STATUS_RETRIED = "retried"
+STATUS_FAILED = "failed"
+
+#: Seed offset between retry attempts of one point. Retries must not
+#: replay the exact failing trajectory, so attempt ``k`` reseeds with
+#: ``run.seed + k * RESEED_STRIDE`` (a prime comfortably larger than
+#: the handful of nearby seeds users sweep by hand).
+RESEED_STRIDE = 7919
+
+
+@dataclass
+class PointStatus:
+    """How one (algorithm, mpl) point of a sweep went."""
+
+    #: One of STATUS_OK / STATUS_RETRIED / STATUS_FAILED.
+    status: str
+    #: Simulation attempts consumed (1 = clean first try).
+    attempts: int = 1
+    #: Message of the last failure seen (also set on retried successes).
+    error: Optional[str] = None
+    #: Wall-clock spent on this point, all attempts included.
+    wall_seconds: float = 0.0
+
+    @property
+    def completed(self):
+        """True when the point produced a usable result."""
+        return self.status in (STATUS_OK, STATUS_RETRIED)
+
 
 @dataclass
 class SweepResult:
-    """All simulation results of one experiment sweep."""
+    """All simulation results of one experiment sweep.
+
+    ``results`` holds the successful points only; ``statuses`` records
+    the outcome of every attempted point, so partial sweeps stay
+    self-describing (a missing (algorithm, mpl) key is distinguishable
+    from a failed one).
+    """
 
     config: object
     run: RunConfig
     #: (algorithm, mpl) -> SimulationResult
     results: Dict[Tuple[str, int], object] = field(default_factory=dict)
+    #: (algorithm, mpl) -> PointStatus (every attempted point).
+    statuses: Dict[Tuple[str, int], PointStatus] = field(
+        default_factory=dict
+    )
     wall_seconds: float = 0.0
 
     def result(self, algorithm, mpl):
         return self.results[(algorithm, mpl)]
+
+    def status(self, algorithm, mpl):
+        """The PointStatus of one attempted point (KeyError if never run)."""
+        return self.statuses[(algorithm, mpl)]
+
+    def failed_points(self):
+        """Sorted [(algorithm, mpl)] of points that exhausted retries."""
+        return sorted(
+            key for key, status in self.statuses.items()
+            if status.status == STATUS_FAILED
+        )
+
+    @property
+    def complete(self):
+        """True when no attempted point failed."""
+        return not self.failed_points()
 
     def series(self, metric, algorithm):
         """[(mpl, mean, ci), ...] of ``metric`` for one algorithm."""
@@ -58,32 +127,199 @@ class SweepResult:
         return sorted({mpl for _, mpl in self.results})
 
 
+class _PointWatchdog:
+    """Per-point supervision, consulted after every simulation batch.
+
+    Two independent tripwires:
+
+    * **wall-clock deadline** — real seconds since the attempt started;
+    * **livelock watchdog** — *simulated* seconds since the last commit
+      (a stalled model keeps draining think-time events, so its clock
+      advances while throughput flatlines; catching that needs the
+      simulated axis, not the wall one).
+    """
+
+    def __init__(self, deadline=None, stall_timeout=None,
+                 clock=time.monotonic):
+        self.deadline = deadline
+        self.stall_timeout = stall_timeout
+        self.clock = clock
+        self.started = clock()
+        self._last_commits = 0
+        self._last_progress_at = 0.0
+
+    def __call__(self, model):
+        if self.deadline is not None:
+            elapsed = self.clock() - self.started
+            if elapsed > self.deadline:
+                raise PointDeadlineExceeded(elapsed, self.deadline)
+        if self.stall_timeout is not None:
+            commits = model.metrics.commits.total
+            if commits > self._last_commits:
+                self._last_commits = commits
+                self._last_progress_at = model.env.now
+            elif (model.env.now - self._last_progress_at
+                  >= self.stall_timeout):
+                raise SimulationStalledError(
+                    model.env.now - self._last_progress_at,
+                    model.env.now,
+                    commits,
+                )
+
+
+def _validate_algorithms(algorithms):
+    """Fail fast on unknown algorithm names, before any simulation.
+
+    Non-string entries (pre-built ConcurrencyControl instances) pass
+    through; the engine validates those itself.
+    """
+    known = algorithm_names()
+    unknown = [
+        name for name in algorithms
+        if isinstance(name, str) and name not in known
+    ]
+    if unknown:
+        raise ValueError(
+            f"unknown concurrency control algorithm(s) "
+            f"{sorted(unknown)}; choose from {known}"
+        )
+
+
 def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
-              progress=None):
+              progress=None, deadline=None, stall_timeout=None,
+              retries=0, checkpoint=None, resume=False):
     """Run every (algorithm, mpl) point of ``config``.
 
     ``mpls``/``algorithms`` restrict the sweep (benchmarks use a subset
     of the paper's seven mpl points to stay fast). ``progress`` is an
     optional callable invoked with a status line after each point
     (``print`` and logging functions both work).
+
+    Resilience controls (all off by default, preserving the classic
+    all-or-nothing behavior):
+
+    * ``deadline`` — wall-clock seconds allowed per point attempt
+      (checked at batch boundaries); exceeding it fails the attempt
+      with :class:`PointDeadlineExceeded`.
+    * ``stall_timeout`` — *simulated* seconds without a single commit
+      before the attempt fails with :class:`SimulationStalledError`.
+    * ``retries`` — extra attempts per point after a supervised
+      failure, each reseeded (``seed + k * RESEED_STRIDE``). A point
+      that exhausts its attempts is recorded as ``failed`` in
+      ``SweepResult.statuses`` and the sweep continues.
+    * ``checkpoint`` — path of a JSONL checkpoint file; every completed
+      point (failed ones included) is flushed to it immediately. With
+      ``resume=True`` an existing checkpoint's points are loaded and
+      skipped, so only the missing ones simulate; without ``resume`` an
+      existing file is truncated and the sweep starts fresh.
+
+    Only supervised failures (watchdog trips and simulation
+    pathologies such as the engine's zero-delay restart livelock
+    detector) are degraded to per-point statuses; configuration errors
+    (unknown algorithm, invalid parameters) still raise immediately.
     """
     run = run or DEFAULT_RUN
     if seed is not None:
         run = run.with_changes(seed=seed)
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if deadline is not None and deadline <= 0:
+        raise ValueError(f"deadline must be > 0, got {deadline}")
+    if stall_timeout is not None and stall_timeout <= 0:
+        raise ValueError(
+            f"stall_timeout must be > 0, got {stall_timeout}"
+        )
     mpls = tuple(mpls) if mpls is not None else config.mpls
     algorithms = (
         tuple(algorithms) if algorithms is not None else config.algorithms
     )
+    _validate_algorithms(algorithms)
+
     sweep = SweepResult(config=config, run=run)
+    ckpt = None
+    if checkpoint is not None:
+        # Imported lazily: persistence imports this module for the
+        # result containers.
+        from repro.experiments.persistence import SweepCheckpoint
+
+        ckpt = SweepCheckpoint(checkpoint, config, run)
+        if resume and ckpt.exists():
+            restored = ckpt.load_into(sweep)
+            if progress is not None and restored:
+                progress(
+                    f"  {config.experiment_id}: resumed {restored} "
+                    f"point(s) from {checkpoint}"
+                )
+        else:
+            ckpt.start_fresh()
+
     started = time.perf_counter()
+    supervised = deadline is not None or stall_timeout is not None
     for algorithm in algorithms:
         for mpl in mpls:
-            result = run_simulation(
-                config.params_for(mpl), algorithm=algorithm, run=run
+            key = (algorithm, mpl)
+            if key in sweep.statuses:
+                continue  # restored from the checkpoint
+            point_started = time.perf_counter()
+            result = None
+            failure = None
+            attempts = 0
+            for attempt in range(retries + 1):
+                attempts += 1
+                attempt_run = run if attempt == 0 else run.with_changes(
+                    seed=run.seed + attempt * RESEED_STRIDE
+                )
+                watchdog = (
+                    _PointWatchdog(deadline, stall_timeout)
+                    if supervised else None
+                )
+                try:
+                    result = run_simulation(
+                        config.params_for(mpl),
+                        algorithm=algorithm,
+                        run=attempt_run,
+                        batch_callback=watchdog,
+                    )
+                    break
+                except (PointExecutionError, RuntimeError) as error:
+                    failure = error
+                    if progress is not None:
+                        outcome = (
+                            "retrying" if attempt < retries
+                            else "giving up"
+                        )
+                        progress(
+                            f"  {config.experiment_id}: {algorithm} "
+                            f"mpl={mpl} attempt {attempts} failed "
+                            f"({error}); {outcome}"
+                        )
+            wall = time.perf_counter() - point_started
+            error_text = (
+                f"{type(failure).__name__}: {failure}"
+                if failure is not None else None
             )
-            sweep.results[(algorithm, mpl)] = result
-            if progress is not None:
-                progress(f"  {config.experiment_id}: {result.describe()}")
+            if result is not None:
+                sweep.results[key] = result
+                status = PointStatus(
+                    status=STATUS_OK if attempts == 1 else STATUS_RETRIED,
+                    attempts=attempts,
+                    error=error_text,
+                    wall_seconds=wall,
+                )
+                if progress is not None:
+                    progress(
+                        f"  {config.experiment_id}: {result.describe()}"
+                    )
+            else:
+                status = PointStatus(
+                    status=STATUS_FAILED,
+                    attempts=attempts,
+                    error=error_text,
+                    wall_seconds=wall,
+                )
+            sweep.statuses[key] = status
+            if ckpt is not None:
+                ckpt.record(algorithm, mpl, result, status)
     sweep.wall_seconds = time.perf_counter() - started
     return sweep
 

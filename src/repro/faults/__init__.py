@@ -1,0 +1,38 @@
+"""Deterministic, seeded fault injection for the physical model.
+
+The paper studies how *resource modeling assumptions* drive concurrency
+control verdicts; this package extends the resource model past "always
+healthy": disk crash/repair processes, CPU service-rate degradation
+windows, and transient object-access faults, all declared by a
+:class:`FaultSpec` carried on
+:class:`~repro.core.params.SimulationParameters` and driven by a
+:class:`FaultInjector` from dedicated RNG streams (bit-reproducible per
+seed; a null spec is provably inert).
+"""
+
+from repro.faults.injector import REPAIR_PRIORITY, FaultInjector
+from repro.faults.scenarios import (
+    SCENARIOS,
+    register_scenario,
+    scenario,
+    scenario_names,
+)
+from repro.faults.spec import (
+    AccessFaultSpec,
+    CpuDegradationSpec,
+    DiskFaultSpec,
+    FaultSpec,
+)
+
+__all__ = [
+    "FaultSpec",
+    "DiskFaultSpec",
+    "CpuDegradationSpec",
+    "AccessFaultSpec",
+    "FaultInjector",
+    "REPAIR_PRIORITY",
+    "SCENARIOS",
+    "scenario",
+    "scenario_names",
+    "register_scenario",
+]

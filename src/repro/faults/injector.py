@@ -1,0 +1,153 @@
+"""The fault injector: processes that realize a :class:`FaultSpec`.
+
+One :class:`FaultInjector` per :class:`~repro.core.engine.SystemModel`.
+It owns dedicated RNG streams (``faults.disk.<i>``, ``faults.cpu``,
+``faults.access``) derived from the run's root seed, so fault timing is
+deterministic per seed and — because streams are independent — adding
+fault draws never perturbs the healthy model's random sequences.
+
+Fault mechanics:
+
+* **Disk crash/repair** — one lifecycle process per disk.  A failure
+  claims the disk through its normal request queue at
+  :data:`REPAIR_PRIORITY` (above all transaction I/O), holds it for the
+  repair time, and releases it.  In-flight service completes (crash-
+  consistency of individual transfers is out of scope); everything
+  queued behind the failure waits out the repair.  Repair holds are
+  *not* recorded in the disk's :class:`~repro.des.BusyTracker`, so
+  utilization metrics keep meaning "time spent serving transactions".
+* **CPU degradation** — a single process toggles the injector's
+  ``cpu_factor`` between 1.0 and ``spec.cpu.factor``; the physical model
+  multiplies CPU service demands by the factor in effect at service
+  start.
+* **Transient access faults** — the physical model asks
+  :meth:`check_access_fault` before each pre-commit object access; a hit
+  raises :class:`~repro.cc.errors.RestartTransaction` with reason
+  :data:`~repro.cc.errors.REASON_ACCESS_FAULT`, which the engine handles
+  exactly like a concurrency-control restart.
+"""
+
+from repro.cc.errors import REASON_ACCESS_FAULT, RestartTransaction
+
+#: Priority for repair claims on a disk: above every transaction request
+#: (disk requests use the default priority 0; lower sorts first).
+REPAIR_PRIORITY = -1
+
+__all__ = ["FaultInjector", "REPAIR_PRIORITY"]
+
+
+class FaultInjector:
+    """Drives the fault processes of one simulation run.
+
+    Construct with a non-null spec, then call :meth:`start` once to
+    attach to the physical model and launch the lifecycle processes.
+    """
+
+    def __init__(self, env, spec, physical, streams, trace=None):
+        self.env = env
+        self.spec = spec
+        self.physical = physical
+        self.streams = streams
+        #: Optional callable ``trace(kind, **fields)`` for event logs.
+        self.trace = trace
+        #: Current CPU service-demand multiplier (1.0 = healthy).
+        self.cpu_factor = 1.0
+        # -- cumulative fault statistics (reported in run totals) --
+        self.disk_failures = 0
+        self.disk_downtime = 0.0
+        self.disks_down = 0
+        self.cpu_degradations = 0
+        self.cpu_degraded_time = 0.0
+        self.access_faults = 0
+        self._access_rng = None
+        if spec.access is not None and spec.access.prob > 0.0:
+            self._access_rng = streams.stream("faults.access")
+
+    def start(self):
+        """Attach to the physical model and launch fault processes."""
+        self.physical.faults = self
+        if self.spec.disk is not None:
+            if self.physical.params.num_disks is None:
+                raise ValueError(
+                    "disk faults require finite disks "
+                    "(num_disks is None: infinite resources)"
+                )
+            for index, disk in enumerate(self.physical.disks):
+                self.env.process(self._disk_lifecycle(index, disk))
+        if self.spec.cpu is not None:
+            self.env.process(self._cpu_lifecycle())
+        return self
+
+    # -- disk crash/repair ---------------------------------------------------
+
+    def _disk_lifecycle(self, index, disk):
+        spec = self.spec.disk
+        rng = self.streams.stream(f"faults.disk.{index}")
+        while True:
+            yield self.env.timeout(rng.exponential(spec.mttf))
+            with disk.request(priority=REPAIR_PRIORITY) as claim:
+                yield claim
+                # Disk is now ours: down for the repair duration.
+                self.disk_failures += 1
+                self.disks_down += 1
+                failed_at = self.env.now
+                self._trace("disk_fail", disk=index)
+                try:
+                    yield self.env.timeout(rng.exponential(spec.mttr))
+                finally:
+                    self.disks_down -= 1
+                    self.disk_downtime += self.env.now - failed_at
+                    self._trace("disk_repair", disk=index,
+                                downtime=self.env.now - failed_at)
+
+    # -- CPU degradation windows ---------------------------------------------
+
+    def _cpu_lifecycle(self):
+        spec = self.spec.cpu
+        rng = self.streams.stream("faults.cpu")
+        while True:
+            yield self.env.timeout(rng.exponential(spec.mean_interval))
+            self.cpu_degradations += 1
+            self.cpu_factor = spec.factor
+            degraded_at = self.env.now
+            self._trace("cpu_degrade", factor=spec.factor)
+            yield self.env.timeout(rng.exponential(spec.mean_duration))
+            self.cpu_factor = 1.0
+            self.cpu_degraded_time += self.env.now - degraded_at
+            self._trace("cpu_restore")
+
+    # -- transient access faults ---------------------------------------------
+
+    def check_access_fault(self, tx):
+        """Maybe fail one pre-commit object access of ``tx``.
+
+        Raises RestartTransaction(REASON_ACCESS_FAULT) on a hit; the
+        engine's normal restart path re-runs the transaction with the
+        same read/write sets.
+        """
+        if self._access_rng is None:
+            return
+        if self._access_rng.bernoulli(self.spec.access.prob):
+            self.access_faults += 1
+            self._trace("access_fault", tx=tx.id, attempt=tx.attempts)
+            raise RestartTransaction(
+                REASON_ACCESS_FAULT,
+                f"transient fault accessing an object of tx {tx.id}",
+            )
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self):
+        """Cumulative fault statistics for the run's totals."""
+        return {
+            "spec": self.spec.describe(),
+            "disk_failures": self.disk_failures,
+            "disk_downtime": self.disk_downtime,
+            "cpu_degradations": self.cpu_degradations,
+            "cpu_degraded_time": self.cpu_degraded_time,
+            "access_faults": self.access_faults,
+        }
+
+    def _trace(self, kind, **fields):
+        if self.trace is not None:
+            self.trace(kind, **fields)

@@ -1,0 +1,70 @@
+"""Named fault scenarios (the CLI's ``--inject <scenario>`` choices).
+
+Scenarios are plain :class:`~repro.faults.spec.FaultSpec` values sized
+against the paper's Table 2 time scale (35 ms disk accesses, batch
+times of tens of seconds), so every scenario produces several fault
+events within a default sweep.  :func:`register_scenario` is the
+extension point for user studies.
+"""
+
+from repro.faults.spec import (
+    AccessFaultSpec,
+    CpuDegradationSpec,
+    DiskFaultSpec,
+    FaultSpec,
+)
+
+__all__ = ["SCENARIOS", "scenario", "scenario_names", "register_scenario"]
+
+SCENARIOS = {
+    # A disk fails about once a minute and takes ~5 s to repair: the
+    # availability-under-contention stress used by exp6_disk_faults.
+    "disk_crash": FaultSpec(disk=DiskFaultSpec(mttf=60.0, mttr=5.0)),
+    # Pathological storage: failures every ~15 s, repairs ~5 s, so a
+    # disk is down roughly a quarter of the time.
+    "disk_storm": FaultSpec(disk=DiskFaultSpec(mttf=15.0, mttr=5.0)),
+    # Thermal-throttling style brownouts: half-speed CPU ~10 s out of
+    # every ~40 s.
+    "cpu_brownout": FaultSpec(
+        cpu=CpuDegradationSpec(mean_interval=30.0, mean_duration=10.0,
+                               factor=2.0)
+    ),
+    # Media-level transient faults: ~1 access in 500 aborts its
+    # transaction (a few restarts per batch at Table 2 sizes).
+    "transient_access": FaultSpec(access=AccessFaultSpec(prob=0.002)),
+    # Everything at once, for worst-case availability studies.
+    "mixed": FaultSpec(
+        disk=DiskFaultSpec(mttf=60.0, mttr=5.0),
+        cpu=CpuDegradationSpec(mean_interval=40.0, mean_duration=8.0,
+                               factor=2.0),
+        access=AccessFaultSpec(prob=0.001),
+    ),
+    # The explicit null scenario: proves injection plumbing is inert.
+    "none": FaultSpec(),
+}
+
+
+def scenario_names():
+    """All registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def scenario(name):
+    """Look up a scenario by name (ValueError lists valid names)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault scenario {name!r}; "
+            f"choose from {scenario_names()}"
+        ) from None
+
+
+def register_scenario(name, spec):
+    """Register a user-supplied scenario (returned for chaining)."""
+    if not name:
+        raise ValueError("scenario name must be non-empty")
+    if not isinstance(spec, FaultSpec):
+        raise TypeError(f"spec must be a FaultSpec, got {type(spec)!r}")
+    SCENARIOS[name] = spec
+    return spec

@@ -1,0 +1,153 @@
+"""Declarative fault specifications.
+
+The paper's verdicts hinge on *resource modeling assumptions*; this
+module extends the physical model's vocabulary with unhealthy resources.
+A :class:`FaultSpec` describes, declaratively, which faults a run
+injects:
+
+* :class:`DiskFaultSpec` — disks crash and are repaired (exponential
+  MTTF/MTTR).  While a disk is down its queue stalls, so transactions
+  holding locks wait and contention spreads — the availability-under-
+  contention axis.
+* :class:`CpuDegradationSpec` — windows during which CPU service takes
+  ``factor`` times longer (thermal throttling, noisy neighbours).
+* :class:`AccessFaultSpec` — transient per-object-access faults that
+  force the accessing transaction to restart (media read errors,
+  transient corruption detected by checksums).
+
+Specs are pure data (no simulation state) so they can live inside
+:class:`~repro.core.params.SimulationParameters` and be hashed/compared;
+the driving processes live in :mod:`repro.faults.injector`.  All faults
+draw from dedicated named RNG streams, so a given ``(FaultSpec, seed)``
+pair is bit-reproducible and a zero-rate spec leaves every healthy-run
+stream untouched.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "DiskFaultSpec",
+    "CpuDegradationSpec",
+    "AccessFaultSpec",
+    "FaultSpec",
+]
+
+
+def _require_positive(owner, name, value):
+    if value <= 0 or math.isnan(value):
+        raise ValueError(f"{owner}: {name} must be > 0, got {value}")
+
+
+@dataclass(frozen=True)
+class DiskFaultSpec:
+    """Disk crash/repair process parameters.
+
+    Each disk fails independently: up for Exp(``mttf``) seconds, then
+    down for Exp(``mttr``) seconds, repeating.  A down disk finishes its
+    in-flight transfer but admits no new service until repaired (the
+    repair claims the disk at a priority above all transaction I/O).
+    """
+
+    #: Mean time to failure, seconds of simulated time (exponential).
+    mttf: float = 60.0
+    #: Mean time to repair, seconds of simulated time (exponential).
+    mttr: float = 5.0
+
+    def __post_init__(self):
+        _require_positive("DiskFaultSpec", "mttf", self.mttf)
+        _require_positive("DiskFaultSpec", "mttr", self.mttr)
+
+
+@dataclass(frozen=True)
+class CpuDegradationSpec:
+    """CPU service-rate degradation windows.
+
+    The CPU pool alternates healthy periods of Exp(``mean_interval``)
+    with degraded windows of Exp(``mean_duration``) during which every
+    CPU service demand is multiplied by ``factor`` (> 1 = slower).  The
+    factor is sampled once at service start; a window boundary does not
+    retroactively stretch or shrink service already in progress.
+    """
+
+    #: Mean healthy time between degradation windows (exponential).
+    mean_interval: float = 60.0
+    #: Mean length of one degradation window (exponential).
+    mean_duration: float = 10.0
+    #: Service-demand multiplier while degraded (2.0 = half speed).
+    factor: float = 2.0
+
+    def __post_init__(self):
+        _require_positive("CpuDegradationSpec", "mean_interval",
+                          self.mean_interval)
+        _require_positive("CpuDegradationSpec", "mean_duration",
+                          self.mean_duration)
+        if self.factor <= 1.0 or math.isnan(self.factor):
+            raise ValueError(
+                f"CpuDegradationSpec: factor must be > 1, "
+                f"got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class AccessFaultSpec:
+    """Transient object-access faults.
+
+    Each object access (read or write-request work, i.e. anything
+    before the commit point) independently faults with probability
+    ``prob``; a faulted access aborts the attempt with restart reason
+    ``access_fault`` and the transaction retries from the start with
+    the same read/write sets.  Accesses after the commit point never
+    fault: once a transaction's writes are installed it can no longer
+    abort.
+    """
+
+    #: Pr[one object access faults]; 0 disables without removing the spec.
+    prob: float = 0.001
+
+    def __post_init__(self):
+        if not 0.0 <= self.prob <= 1.0 or math.isnan(self.prob):
+            raise ValueError(
+                f"AccessFaultSpec: prob must be in [0, 1], got {self.prob}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Everything a run injects; ``FaultSpec()`` injects nothing.
+
+    A spec with every component None (or an access component with
+    ``prob == 0``) is *null*: the injector starts no processes and the
+    run is bit-identical to one with no spec at all.
+    """
+
+    disk: Optional[DiskFaultSpec] = None
+    cpu: Optional[CpuDegradationSpec] = None
+    access: Optional[AccessFaultSpec] = None
+
+    @property
+    def is_null(self):
+        """True when this spec cannot perturb a run in any way."""
+        return (
+            self.disk is None
+            and self.cpu is None
+            and (self.access is None or self.access.prob == 0.0)
+        )
+
+    def describe(self):
+        """One-line human-readable summary (used in reports/CLI)."""
+        parts = []
+        if self.disk is not None:
+            parts.append(
+                f"disk mttf={self.disk.mttf:g}s mttr={self.disk.mttr:g}s"
+            )
+        if self.cpu is not None:
+            parts.append(
+                f"cpu x{self.cpu.factor:g} every "
+                f"~{self.cpu.mean_interval:g}s for "
+                f"~{self.cpu.mean_duration:g}s"
+            )
+        if self.access is not None:
+            parts.append(f"access fault p={self.access.prob:g}")
+        return "; ".join(parts) if parts else "no faults"

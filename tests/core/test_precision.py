@@ -67,3 +67,26 @@ class TestStoppingRule:
         )
         assert result.totals["commits"] > 0
         assert result.algorithm == "optimistic"
+
+
+class TestMinimumBatches:
+    def test_at_least_three_batches_even_for_loose_targets(self):
+        # An absurdly loose target would be "met" after one batch; the
+        # rule must still collect three so the interval is meaningful.
+        result = run_until_precision(
+            params(), "blocking", RUN,
+            target_relative_hw=1e9, max_batches=50,
+        )
+        assert result.run.batches == 3
+        assert result.analyzer.batches_recorded == 3
+
+    def test_minimum_applies_after_warmup(self):
+        # Warmup batches are discarded; the three-batch floor counts
+        # retained batches only.
+        run = RunConfig(batches=4, batch_time=10.0, warmup_batches=2,
+                        seed=44)
+        result = run_until_precision(
+            params(), "blocking", run,
+            target_relative_hw=1e9, max_batches=50,
+        )
+        assert result.analyzer.batches_recorded == 3

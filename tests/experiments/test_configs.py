@@ -22,6 +22,7 @@ class TestConfigs:
             "exp5_think_1s",
             "exp5_think_5s",
             "exp5_think_10s",
+            "exp6_disk_faults",
         }
 
     def test_every_paper_figure_covered(self):
@@ -43,9 +44,20 @@ class TestConfigs:
                 assert metric in config.metrics
 
     def test_default_sweep_matches_paper(self):
+        # Every preset that regenerates a paper figure sweeps the
+        # paper's algorithms and mpls; extensions (exp6) may differ.
         for config in experiment_configs().values():
+            if not config.figures:
+                continue
             assert config.algorithms == PAPER_ALGORITHMS
             assert config.mpls == PAPER_MPLS
+
+    def test_disk_fault_experiment(self):
+        config = experiment_configs()["exp6_disk_faults"]
+        assert config.params.faults is not None
+        assert config.params.faults.disk is not None
+        assert config.params.num_disks is not None
+        assert set(config.algorithms) == {"blocking", "optimistic"}
 
     def test_experiment_parameters_match_paper(self):
         configs = experiment_configs()

@@ -91,3 +91,35 @@ class TestRunSweep:
         assert sweep.algorithms() == ["blocking", "optimistic"]
         assert sweep.mpls() == [2, 5]
         assert sweep.result("blocking", 2).algorithm == "blocking"
+
+
+class TestSweepResultEdgeCases:
+    def test_empty_sweep_series_and_accessors(self):
+        from repro.experiments import SweepResult
+
+        empty = SweepResult(config=tiny_config(), run=TINY_RUN)
+        assert empty.series("throughput", "blocking") == []
+        assert empty.algorithms() == []
+        assert empty.mpls() == []
+        assert empty.failed_points() == []
+        assert empty.complete  # vacuously: nothing attempted, nothing failed
+
+    def test_empty_sweep_peak_raises(self):
+        from repro.experiments import SweepResult
+
+        empty = SweepResult(config=tiny_config(), run=TINY_RUN)
+        with pytest.raises(KeyError, match="blocking"):
+            empty.peak("throughput", "blocking")
+
+    def test_single_point_sweep(self):
+        sweep = run_sweep(tiny_config(), run=TINY_RUN, mpls=[5],
+                          algorithms=["blocking"])
+        series = sweep.series("throughput", "blocking")
+        assert len(series) == 1
+        mpl, mean, ci = series[0]
+        assert mpl == 5
+        assert mean == pytest.approx(ci.mean)
+        # With one point, the peak IS that point.
+        assert sweep.peak("throughput", "blocking") == (5, mean)
+        # Other algorithms are absent, not zero-length-with-data.
+        assert sweep.series("throughput", "optimistic") == []

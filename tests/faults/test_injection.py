@@ -1,0 +1,155 @@
+"""Tests for fault injection wired through the full system model.
+
+The acceptance bar: fault-injected runs are bit-reproducible for a
+fixed seed, and a null spec reproduces the healthy run unchanged.
+"""
+
+import pytest
+
+from repro.cc.errors import REASON_ACCESS_FAULT
+from repro.core import RunConfig, SimulationParameters, run_simulation
+from repro.core.engine import SystemModel
+from repro.faults import (
+    AccessFaultSpec,
+    CpuDegradationSpec,
+    DiskFaultSpec,
+    FaultSpec,
+)
+
+RUN = RunConfig(batches=3, batch_time=8.0, warmup_batches=0, seed=17)
+
+
+def params(**overrides):
+    base = dict(
+        db_size=200, min_size=4, max_size=8, write_prob=0.25,
+        num_terms=10, mpl=5, ext_think_time=0.5,
+        obj_io=0.010, obj_cpu=0.005, num_cpus=1, num_disks=2,
+    )
+    base.update(overrides)
+    return SimulationParameters(**base)
+
+
+FULL_SPEC = FaultSpec(
+    disk=DiskFaultSpec(mttf=6.0, mttr=1.0),
+    cpu=CpuDegradationSpec(mean_interval=6.0, mean_duration=2.0, factor=2.0),
+    access=AccessFaultSpec(prob=0.01),
+)
+
+
+class TestNullSpecInert:
+    def test_null_spec_matches_healthy_run_exactly(self):
+        healthy = run_simulation(params(), "blocking", RUN)
+        null = run_simulation(
+            params(faults=FaultSpec()), "blocking", RUN
+        )
+        assert healthy.totals == null.totals
+
+    def test_zero_rate_access_spec_matches_healthy_run(self):
+        healthy = run_simulation(params(), "optimistic", RUN)
+        null = run_simulation(
+            params(faults=FaultSpec(access=AccessFaultSpec(prob=0.0))),
+            "optimistic", RUN,
+        )
+        assert healthy.totals == null.totals
+
+    def test_null_spec_starts_no_injector(self):
+        model = SystemModel(params(faults=FaultSpec()), seed=1)
+        assert model.fault_injector is None
+        assert model.physical.faults is None
+
+
+class TestReproducibility:
+    def test_same_seed_same_metrics(self):
+        a = run_simulation(params(faults=FULL_SPEC), "blocking", RUN)
+        b = run_simulation(params(faults=FULL_SPEC), "blocking", RUN)
+        assert a.totals == b.totals
+        assert a.mean("throughput") == b.mean("throughput")
+
+    def test_different_seed_differs(self):
+        a = run_simulation(params(faults=FULL_SPEC), "blocking", RUN)
+        b = run_simulation(
+            params(faults=FULL_SPEC), "blocking", RUN, seed=999
+        )
+        assert a.totals != b.totals
+
+
+class TestDiskFaults:
+    SPEC = FaultSpec(disk=DiskFaultSpec(mttf=4.0, mttr=1.0))
+
+    def test_failures_counted_and_downtime_accrues(self):
+        result = run_simulation(params(faults=self.SPEC), "blocking", RUN)
+        faults = result.totals["faults"]
+        assert faults["disk_failures"] > 0
+        assert faults["disk_downtime"] > 0.0
+
+    def test_downtime_reduces_throughput(self):
+        healthy = run_simulation(params(), "blocking", RUN)
+        faulted = run_simulation(
+            params(faults=self.SPEC), "blocking", RUN
+        )
+        assert (faulted.totals["commits"] < healthy.totals["commits"])
+
+    def test_disk_faults_require_finite_disks(self):
+        with pytest.raises(ValueError, match="finite disks"):
+            params(num_disks=None, faults=self.SPEC)
+
+
+class TestCpuDegradation:
+    SPEC = FaultSpec(
+        cpu=CpuDegradationSpec(mean_interval=3.0, mean_duration=2.0,
+                               factor=4.0)
+    )
+
+    def test_windows_counted(self):
+        result = run_simulation(params(faults=self.SPEC), "blocking", RUN)
+        faults = result.totals["faults"]
+        assert faults["cpu_degradations"] > 0
+        assert faults["cpu_degraded_time"] > 0.0
+
+    def test_degradation_slows_the_system(self):
+        healthy = run_simulation(params(), "blocking", RUN)
+        degraded = run_simulation(
+            params(faults=self.SPEC), "blocking", RUN
+        )
+        assert (
+            degraded.totals["response_time_overall_mean"]
+            > healthy.totals["response_time_overall_mean"]
+        )
+
+
+class TestAccessFaults:
+    SPEC = FaultSpec(access=AccessFaultSpec(prob=0.02))
+
+    def test_faults_force_restarts_with_reason(self):
+        result = run_simulation(params(faults=self.SPEC), "blocking", RUN)
+        faults = result.totals["faults"]
+        assert faults["access_faults"] > 0
+        reasons = result.totals["restart_reasons"]
+        assert reasons.get(REASON_ACCESS_FAULT, 0) == faults["access_faults"]
+
+    def test_faulted_transactions_still_commit_eventually(self):
+        # The workload is closed: every restarted transaction re-runs
+        # with the same read/write sets, so commits keep flowing.
+        result = run_simulation(params(faults=self.SPEC), "blocking", RUN)
+        assert result.totals["commits"] > 0
+
+    def test_noop_algorithm_restarts_only_from_faults(self):
+        # noop never restarts on its own, so every restart observed is
+        # fault-injected: the restart plumbing works without any CC.
+        result = run_simulation(params(faults=self.SPEC), "noop", RUN)
+        reasons = result.totals["restart_reasons"]
+        assert set(reasons) <= {REASON_ACCESS_FAULT}
+        assert result.totals["restarts"] == reasons.get(
+            REASON_ACCESS_FAULT, 0
+        )
+
+
+class TestParamsValidation:
+    def test_faults_must_be_a_spec(self):
+        with pytest.raises(TypeError):
+            params(faults={"disk": "nope"})
+
+    def test_spec_survives_with_changes(self):
+        p = params(faults=FULL_SPEC)
+        q = p.with_changes(mpl=7)
+        assert q.faults == FULL_SPEC

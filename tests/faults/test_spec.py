@@ -1,0 +1,96 @@
+"""Tests for the declarative fault specifications and scenarios."""
+
+import pytest
+
+from repro.faults import (
+    SCENARIOS,
+    AccessFaultSpec,
+    CpuDegradationSpec,
+    DiskFaultSpec,
+    FaultSpec,
+    register_scenario,
+    scenario,
+    scenario_names,
+)
+
+
+class TestSpecValidation:
+    def test_disk_rates_positive(self):
+        with pytest.raises(ValueError):
+            DiskFaultSpec(mttf=0.0)
+        with pytest.raises(ValueError):
+            DiskFaultSpec(mttr=-1.0)
+
+    def test_cpu_rates_positive(self):
+        with pytest.raises(ValueError):
+            CpuDegradationSpec(mean_interval=0.0)
+        with pytest.raises(ValueError):
+            CpuDegradationSpec(mean_duration=-2.0)
+
+    def test_cpu_factor_must_slow_down(self):
+        with pytest.raises(ValueError):
+            CpuDegradationSpec(factor=1.0)
+        with pytest.raises(ValueError):
+            CpuDegradationSpec(factor=0.5)
+
+    def test_access_prob_bounds(self):
+        with pytest.raises(ValueError):
+            AccessFaultSpec(prob=-0.1)
+        with pytest.raises(ValueError):
+            AccessFaultSpec(prob=1.5)
+        AccessFaultSpec(prob=0.0)
+        AccessFaultSpec(prob=1.0)
+
+
+class TestNullness:
+    def test_empty_spec_is_null(self):
+        assert FaultSpec().is_null
+
+    def test_zero_rate_access_is_null(self):
+        assert FaultSpec(access=AccessFaultSpec(prob=0.0)).is_null
+
+    def test_any_component_makes_non_null(self):
+        assert not FaultSpec(disk=DiskFaultSpec()).is_null
+        assert not FaultSpec(cpu=CpuDegradationSpec()).is_null
+        assert not FaultSpec(access=AccessFaultSpec(prob=0.01)).is_null
+
+    def test_describe(self):
+        assert FaultSpec().describe() == "no faults"
+        text = FaultSpec(
+            disk=DiskFaultSpec(mttf=60, mttr=5),
+            access=AccessFaultSpec(prob=0.01),
+        ).describe()
+        assert "mttf=60" in text and "p=0.01" in text
+
+
+class TestScenarios:
+    def test_names_sorted_and_known(self):
+        names = scenario_names()
+        assert names == sorted(names)
+        assert "disk_crash" in names
+        assert "none" in names
+
+    def test_lookup(self):
+        spec = scenario("disk_crash")
+        assert spec.disk is not None
+
+    def test_none_scenario_is_null(self):
+        assert scenario("none").is_null
+
+    def test_unknown_scenario_lists_choices(self):
+        with pytest.raises(ValueError, match="disk_crash"):
+            scenario("nonesuch")
+
+    def test_register_scenario(self):
+        spec = FaultSpec(access=AccessFaultSpec(prob=0.5))
+        try:
+            register_scenario("test_only_scenario", spec)
+            assert scenario("test_only_scenario") is spec
+        finally:
+            SCENARIOS.pop("test_only_scenario", None)
+
+    def test_register_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            register_scenario("", FaultSpec())
+        with pytest.raises(TypeError):
+            register_scenario("x", "not a spec")
