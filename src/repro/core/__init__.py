@@ -7,6 +7,7 @@ generator, and the batch-means simulation driver
 """
 
 from repro.core.engine import CommittedRecord, SystemModel
+from repro.core.errors import RestartLivelockError
 from repro.core.metrics import MetricsCollector, RunningAverage
 from repro.core.params import (
     ARRIVAL_CLOSED,
@@ -50,6 +51,7 @@ __all__ = [
     "ARRIVAL_OPEN",
     "SystemModel",
     "CommittedRecord",
+    "RestartLivelockError",
     "run_simulation",
     "run_until_precision",
     "SimulationResult",

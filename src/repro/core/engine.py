@@ -22,6 +22,7 @@ from repro.cc import (
     RestartTransaction,
     create_algorithm,
 )
+from repro.core.errors import RestartLivelockError
 from repro.core.metrics import MetricsCollector
 from repro.core.params import (
     ARRIVAL_OPEN,
@@ -339,6 +340,9 @@ class SystemModel:
     def _complete_commit(self, tx):
         tx.state = TxState.COMMITTED
         tx.commit_time = self.env.now
+        # A committed transaction's zero-delay restart streak is over;
+        # without this the tracker grows without bound over a campaign.
+        self._same_instant_restarts.pop(tx.id, None)
         self._trace("commit", tx=tx.id, attempt=tx.attempts,
                     response=tx.response_time())
         self.metrics.record_commit(tx)
@@ -374,19 +378,18 @@ class SystemModel:
             )
             if (self._same_instant_restarts[tx.id]
                     >= self.ZERO_DELAY_RESTART_LIMIT):
-                raise RuntimeError(
-                    f"transaction {tx.id} restarted "
-                    f"{self._same_instant_restarts[tx.id]} times at "
-                    f"t={self.env.now:.6f} with no restart delay: the "
-                    "same conflict re-occurs without simulated time "
-                    "advancing. Use an adaptive or fixed restart delay "
-                    "for restart-oriented algorithms (see the paper's "
-                    "discussion of the immediate-restart delay)."
+                raise RestartLivelockError(
+                    tx.id,
+                    self._same_instant_restarts[tx.id],
+                    self.env.now,
                 )
         else:
             self._same_instant_restarts.pop(tx.id, None)
 
     def _delayed_resubmit(self, tx, delay):
+        # A real (positive) delay breaks any same-instant restart
+        # streak, so the tracker entry must not outlive it.
+        self._same_instant_restarts.pop(tx.id, None)
         yield self.env.timeout(delay)
         self._enqueue_ready(tx)
 

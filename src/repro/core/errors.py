@@ -1,0 +1,37 @@
+"""Engine-level error types.
+
+These sit in :mod:`repro.core` (not :mod:`repro.experiments.errors`)
+because the engine raises them without knowing whether a sweep runner,
+a notebook, or a bare :func:`repro.core.run_simulation` call is
+driving it.
+"""
+
+__all__ = ["RestartLivelockError"]
+
+
+class RestartLivelockError(RuntimeError):
+    """The engine's zero-delay restart-livelock detector tripped.
+
+    Raised when one transaction is restarted
+    :data:`~repro.core.engine.SystemModel.ZERO_DELAY_RESTART_LIMIT`
+    times at a single simulated instant with no restart delay: the same
+    conflict re-occurs forever without simulated time advancing — the
+    exact pathology the paper's restart delay exists to prevent.  It
+    subclasses :class:`RuntimeError` for backward compatibility, but
+    carries its own type so supervisors (the resilient sweep runner)
+    can degrade it to a failed point without also swallowing genuine
+    programming errors.
+    """
+
+    def __init__(self, tx_id, restarts, simulated_time):
+        super().__init__(
+            f"transaction {tx_id} restarted {restarts} times at "
+            f"t={simulated_time:.6f} with no restart delay: the same "
+            "conflict re-occurs without simulated time advancing. Use "
+            "an adaptive or fixed restart delay for restart-oriented "
+            "algorithms (see the paper's discussion of the "
+            "immediate-restart delay)."
+        )
+        self.tx_id = tx_id
+        self.restarts = restarts
+        self.simulated_time = simulated_time

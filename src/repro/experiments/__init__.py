@@ -16,9 +16,11 @@ from repro.experiments.configs import (
 from repro.experiments.errors import (
     CheckpointMismatchError,
     ExperimentError,
+    PointCancelledError,
     PointDeadlineExceeded,
     PointExecutionError,
     SimulationStalledError,
+    WorkerCrashError,
 )
 from repro.experiments.figures import FIGURE_TITLES, FigureBuilder, FigureData
 from repro.experiments.export import (
@@ -40,6 +42,7 @@ from repro.experiments.runner import (
     STATUS_RETRIED,
     PointStatus,
     SweepResult,
+    point_seed,
     run_sweep,
 )
 
@@ -71,5 +74,8 @@ __all__ = [
     "PointExecutionError",
     "SimulationStalledError",
     "PointDeadlineExceeded",
+    "PointCancelledError",
+    "WorkerCrashError",
     "CheckpointMismatchError",
+    "point_seed",
 ]

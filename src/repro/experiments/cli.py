@@ -17,6 +17,10 @@ Examples::
         --deadline 600 --stall-timeout 120 --retries 1 \
         --checkpoint ckpts --resume
 
+    # the same sweep fanned out over every CPU core; results are
+    # identical to --workers 1 for the same seed
+    repro-experiments --experiment exp3_finite --batches 20 --workers 0
+
     # availability study: paper experiment under injected disk crashes
     repro-experiments --experiment exp6_disk_faults --quick
     repro-experiments --figure 8 --quick --inject disk_storm
@@ -116,6 +120,14 @@ def build_parser():
         ),
     )
     parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help=(
+            "run sweep points on N worker processes (default: 1 = "
+            "sequential; 0 = one per CPU core); results are identical "
+            "for any worker count"
+        ),
+    )
+    parser.add_argument(
         "--inject", choices=scenario_names(), default=None,
         metavar="SCENARIO",
         help=(
@@ -153,6 +165,8 @@ def main(argv=None):
         parser.error(
             f"--stall-timeout must be > 0, got {args.stall_timeout}"
         )
+    if args.workers < 0:
+        parser.error(f"--workers must be >= 0, got {args.workers}")
     try:
         return _dispatch(args)
     except CheckpointMismatchError as error:
@@ -179,6 +193,7 @@ def _dispatch(args):
         deadline=args.deadline,
         stall_timeout=args.stall_timeout,
         retries=args.retries,
+        workers=args.workers,
     )
     configs = experiment_configs()
     if args.figure is not None:

@@ -9,7 +9,9 @@ Hierarchy::
     ExperimentError
     ├── PointExecutionError          one (algorithm, mpl) point went bad
     │   ├── SimulationStalledError   no commits for N simulated seconds
-    │   └── PointDeadlineExceeded    wall-clock budget exhausted
+    │   ├── PointDeadlineExceeded    wall-clock budget exhausted
+    │   ├── PointCancelledError      hung worker cancelled by the parent
+    │   └── WorkerCrashError         worker process died mid-point
     └── CheckpointMismatchError      checkpoint belongs to another sweep
 """
 
@@ -18,6 +20,8 @@ __all__ = [
     "PointExecutionError",
     "SimulationStalledError",
     "PointDeadlineExceeded",
+    "PointCancelledError",
+    "WorkerCrashError",
     "CheckpointMismatchError",
 ]
 
@@ -59,6 +63,45 @@ class PointDeadlineExceeded(PointExecutionError):
         )
         self.elapsed = elapsed
         self.deadline = deadline
+
+
+class PointCancelledError(PointExecutionError):
+    """A parallel sweep point was cancelled by the parent's backstop.
+
+    The in-worker watchdogs normally fail a bad point from inside the
+    worker; this error covers the case they cannot — a worker wedged so
+    hard it never reaches another batch boundary (a C-level hang, a
+    livelocked event loop).  The parent terminates the worker process
+    and records the point ``failed`` with this error's text.
+    """
+
+    def __init__(self, algorithm, mpl, backstop):
+        super().__init__(
+            f"point ({algorithm}, mpl={mpl}) cancelled: no sweep "
+            f"progress within the {backstop:.4g}s parent backstop; "
+            "its worker process was terminated"
+        )
+        self.algorithm = algorithm
+        self.mpl = mpl
+        self.backstop = backstop
+
+
+class WorkerCrashError(PointExecutionError):
+    """A sweep worker process died (segfault, OOM kill, ...).
+
+    Carries the traceback text the executor observed, so the failure
+    survives into ``PointStatus.error`` and the checkpoint instead of
+    evaporating with the process.
+    """
+
+    def __init__(self, algorithm, mpl, traceback_text):
+        super().__init__(
+            f"point ({algorithm}, mpl={mpl}) lost: its worker process "
+            f"crashed ({traceback_text.strip().splitlines()[-1]})"
+        )
+        self.algorithm = algorithm
+        self.mpl = mpl
+        self.traceback_text = traceback_text
 
 
 class CheckpointMismatchError(ExperimentError):

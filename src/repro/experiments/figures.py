@@ -88,7 +88,8 @@ class FigureBuilder:
     checkpoints each experiment's sweep to
     ``<dir>/<experiment_id>.ckpt.jsonl`` (created on demand); other
     ``sweep_options`` are forwarded to :func:`run_sweep` verbatim
-    (deadline, retries, stall_timeout, resume, ...).
+    (deadline, retries, stall_timeout, resume, workers, ...), so the
+    CLI's ``--workers`` process fan-out applies to every figure's sweep.
     """
 
     def __init__(self, run=None, mpls=None, algorithms=None, progress=None,

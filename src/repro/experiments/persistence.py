@@ -15,9 +15,13 @@ ones (they are rebuilt on real ``BatchMeansAnalyzer``s).
 :class:`SweepCheckpoint` is the incremental sibling used by the
 resilient runner: an append-only JSONL file holding one header line
 plus one line per completed point (failed points included, so their
-statuses survive), flushed and fsynced as each point finishes.  A sweep
-killed mid-flight resumes by loading the checkpoint and re-running only
-the missing points::
+statuses survive), flushed and fsynced as each point finishes.  Point
+lines may appear in *any* order — a parallel sweep's parent flushes
+them in completion order, which varies with worker scheduling — and
+:meth:`SweepCheckpoint.load_into` keys them by (algorithm, mpl), so a
+checkpoint written with ``workers=N`` resumes identically to one
+written sequentially.  A sweep killed mid-flight resumes by loading
+the checkpoint and re-running only the missing points::
 
     run_sweep(config, checkpoint="exp3.ckpt.jsonl")            # killed...
     run_sweep(config, checkpoint="exp3.ckpt.jsonl", resume=True)

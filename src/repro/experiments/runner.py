@@ -6,19 +6,35 @@ deadline and a simulated-time livelock watchdog, retried with a
 reseeded RNG, and checkpointed to disk as soon as it completes, so a
 killed multi-hour sweep resumes where it stopped and a pathological
 point degrades the sweep to partial results instead of losing it.
+
+The runner is also *parallel*: ``run_sweep(..., workers=N)`` fans the
+point grid out over a :class:`concurrent.futures.ProcessPoolExecutor`
+(every point is an independent closed-queuing simulation, so the grid
+is embarrassingly parallel).  The parent process stays the single
+checkpoint writer and progress reporter; workers only simulate.  Seeds
+are derived from ``run.seed`` and the grid key alone — never from
+submission or completion order — so a sweep's results are identical
+for any worker count.
 """
 
+import os
 import sys
 import time
+import traceback
+import zlib
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.cc.registry import algorithm_names
-from repro.core import RunConfig, run_simulation
+from repro.core import RestartLivelockError, RunConfig, run_simulation
 from repro.experiments.errors import (
+    PointCancelledError,
     PointDeadlineExceeded,
     PointExecutionError,
     SimulationStalledError,
+    WorkerCrashError,
 )
 
 #: Run controls sized for a laptop. The paper used 20 batches with a
@@ -37,9 +53,36 @@ STATUS_FAILED = "failed"
 
 #: Seed offset between retry attempts of one point. Retries must not
 #: replay the exact failing trajectory, so attempt ``k`` reseeds with
-#: ``run.seed + k * RESEED_STRIDE`` (a prime comfortably larger than
-#: the handful of nearby seeds users sweep by hand).
+#: ``run.seed + k * RESEED_STRIDE`` plus a per-point offset (a prime
+#: comfortably larger than the handful of nearby seeds users sweep by
+#: hand).
 RESEED_STRIDE = 7919
+
+#: Extra wall-clock slack the parent grants a parallel sweep beyond the
+#: worst case its in-worker deadlines allow, before it declares a
+#: worker wedged (see :func:`_hard_backstop`).
+BACKSTOP_GRACE = 30.0
+
+
+def point_seed(seed, algorithm, mpl, attempt):
+    """The RNG seed of one attempt of one grid point.
+
+    Attempt 0 uses the sweep seed unchanged for *every* point — the
+    common-random-numbers discipline the sequential runner has always
+    used (shared randomness across algorithms and mpls reduces the
+    variance of their differences, which is what the paper's curves
+    compare).  Retry attempts perturb by ``attempt * RESEED_STRIDE``
+    plus a stable per-point offset hashed from the grid key, so two
+    retried points do not replay each other's trajectories.
+
+    The value is a pure function of ``(seed, algorithm, mpl,
+    attempt)``: submission order, completion order and worker count
+    never enter, which is what makes parallel sweeps reproducible.
+    """
+    if attempt == 0:
+        return seed
+    offset = zlib.crc32(f"{algorithm}:{mpl}".encode()) % RESEED_STRIDE
+    return seed + attempt * RESEED_STRIDE + offset
 
 
 @dataclass
@@ -167,11 +210,13 @@ class _PointWatchdog:
                 )
 
 
-def _validate_algorithms(algorithms):
+def _validate_algorithms(algorithms, workers=1):
     """Fail fast on unknown algorithm names, before any simulation.
 
     Non-string entries (pre-built ConcurrencyControl instances) pass
-    through; the engine validates those itself.
+    through when the sweep is sequential; the engine validates those
+    itself.  Parallel sweeps require registry names: a live algorithm
+    instance cannot be shipped to worker processes.
     """
     known = algorithm_names()
     unknown = [
@@ -183,11 +228,249 @@ def _validate_algorithms(algorithms):
             f"unknown concurrency control algorithm(s) "
             f"{sorted(unknown)}; choose from {known}"
         )
+    if workers > 1:
+        instances = [a for a in algorithms if not isinstance(a, str)]
+        if instances:
+            raise ValueError(
+                "workers > 1 requires algorithm names from the "
+                "registry; pre-built instances cannot be sent to "
+                f"worker processes (got {instances!r})"
+            )
+
+
+def _execute_point(config, algorithm, mpl, run, deadline, stall_timeout,
+                   retries, progress=None):
+    """Run one grid point to a (result, status) pair.
+
+    This is the unit of work of both execution modes: the sequential
+    loop calls it inline (``progress`` reports per-attempt failures);
+    parallel workers call it via :func:`_point_task` with ``progress``
+    disabled, since only the parent talks to the user.
+
+    Only supervised failures — watchdog trips and the engine's restart
+    livelock detector — are degraded to a failed status; anything else
+    is a programming error and propagates.
+    """
+    supervised = deadline is not None or stall_timeout is not None
+    point_started = time.perf_counter()
+    result = None
+    failure = None
+    attempts = 0
+    for attempt in range(retries + 1):
+        attempts += 1
+        attempt_run = run if attempt == 0 else run.with_changes(
+            seed=point_seed(run.seed, algorithm, mpl, attempt)
+        )
+        watchdog = (
+            _PointWatchdog(deadline, stall_timeout)
+            if supervised else None
+        )
+        try:
+            result = run_simulation(
+                config.params_for(mpl),
+                algorithm=algorithm,
+                run=attempt_run,
+                batch_callback=watchdog,
+            )
+            break
+        except (PointExecutionError, RestartLivelockError) as error:
+            failure = error
+            if progress is not None:
+                outcome = (
+                    "retrying" if attempt < retries else "giving up"
+                )
+                progress(
+                    f"  {config.experiment_id}: {algorithm} "
+                    f"mpl={mpl} attempt {attempts} failed "
+                    f"({error}); {outcome}"
+                )
+    wall = time.perf_counter() - point_started
+    error_text = (
+        f"{type(failure).__name__}: {failure}"
+        if failure is not None else None
+    )
+    if result is not None:
+        status = PointStatus(
+            status=STATUS_OK if attempts == 1 else STATUS_RETRIED,
+            attempts=attempts,
+            error=error_text,
+            wall_seconds=wall,
+        )
+    else:
+        status = PointStatus(
+            status=STATUS_FAILED,
+            attempts=attempts,
+            error=error_text,
+            wall_seconds=wall,
+        )
+    return result, status
+
+
+def _point_task(config, algorithm, mpl, run, deadline, stall_timeout,
+                retries):
+    """Worker-process entry point: one point, no parent-side chatter.
+
+    Module-level (picklable) by construction; everything it needs
+    travels in its arguments, everything it produces travels back in
+    the (result, status) return value.
+    """
+    return _execute_point(
+        config, algorithm, mpl, run, deadline, stall_timeout, retries,
+    )
+
+
+def _hard_backstop(deadline, retries):
+    """Parent-side wall-clock budget for "some point must finish".
+
+    The in-worker deadline is checked at batch boundaries, so a worker
+    wedged *inside* a batch never trips it.  The parent therefore
+    allows the worst case the in-worker supervision permits — every
+    attempt running to its full deadline — plus grace, and declares the
+    pool hung when no future completes within that window.  Without a
+    per-point deadline there is no defensible budget, so there is no
+    backstop either.
+    """
+    if deadline is None:
+        return None
+    return deadline * (retries + 1) + BACKSTOP_GRACE
+
+
+def _crash_traceback(error):
+    """Best-effort traceback text of an exception (worker crashes)."""
+    return "".join(
+        traceback.format_exception(type(error), error, error.__traceback__)
+    )
+
+
+def _terminate_workers(executor):
+    """Kill a pool's worker processes outright (hung-worker backstop).
+
+    ``ProcessPoolExecutor`` has no public kill switch — ``shutdown``
+    waits for running tasks — so this reaches for the process handles.
+    A worker wedged in C code would otherwise survive shutdown and
+    block interpreter exit on the executor's atexit join.
+    """
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+
+
+def _run_parallel(sweep, pending, config, run, deadline, stall_timeout,
+                  retries, workers, progress, ckpt):
+    """Submit/drain executor for the pending grid points.
+
+    The parent is the only process that touches the checkpoint or the
+    progress sink: workers return (result, status) pairs and the
+    parent flushes each to the checkpoint as its future completes, so
+    PR 1's resume semantics survive unchanged (the JSONL line order is
+    completion order, which the loader never relied on).
+    """
+    total = len(pending)
+    completed = 0
+    backstop = _hard_backstop(deadline, retries)
+    executor = ProcessPoolExecutor(max_workers=min(workers, total))
+    try:
+        futures = {}
+        for algorithm, mpl in pending:
+            future = executor.submit(
+                _point_task, config, algorithm, mpl, run,
+                deadline, stall_timeout, retries,
+            )
+            futures[future] = (algorithm, mpl)
+        outstanding = set(futures)
+        while outstanding:
+            done, outstanding = wait(
+                outstanding, timeout=backstop,
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                # Nothing finished inside the backstop window: at
+                # least one worker is wedged beyond what the
+                # in-worker watchdogs can catch. Cancel what never
+                # started (left unattempted, so --resume retries
+                # it), fail what was in flight, and kill the pool.
+                _cancel_outstanding(
+                    sweep, futures, outstanding, backstop, ckpt,
+                    progress, config,
+                )
+                _terminate_workers(executor)
+                break
+            for future in done:
+                algorithm, mpl = futures[future]
+                try:
+                    result, status = future.result()
+                except BrokenProcessPool as error:
+                    result = None
+                    crash = WorkerCrashError(
+                        algorithm, mpl, _crash_traceback(error)
+                    )
+                    status = PointStatus(
+                        status=STATUS_FAILED,
+                        attempts=1,
+                        error=f"WorkerCrashError: {crash}",
+                    )
+                completed += 1
+                _record_point(
+                    sweep, (algorithm, mpl), result, status, ckpt
+                )
+                if progress is not None:
+                    if result is not None:
+                        progress(
+                            f"  [{completed}/{total}] "
+                            f"{config.experiment_id}: "
+                            f"{result.describe()}"
+                        )
+                    else:
+                        progress(
+                            f"  [{completed}/{total}] "
+                            f"{config.experiment_id}: {algorithm} "
+                            f"mpl={mpl} failed after "
+                            f"{status.attempts} attempt(s) "
+                            f"({status.error})"
+                        )
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _cancel_outstanding(sweep, futures, outstanding, backstop, ckpt,
+                        progress, config):
+    """Backstop trip: fail in-flight points, drop never-started ones."""
+    for future in outstanding:
+        algorithm, mpl = futures[future]
+        if future.cancel():
+            # Never started; leave it unattempted (no status), so a
+            # --resume run knows to simulate it.
+            continue
+        error = PointCancelledError(algorithm, mpl, backstop)
+        status = PointStatus(
+            status=STATUS_FAILED,
+            attempts=1,
+            error=f"PointCancelledError: {error}",
+            wall_seconds=backstop,
+        )
+        _record_point(sweep, (algorithm, mpl), None, status, ckpt)
+        if progress is not None:
+            progress(
+                f"  {config.experiment_id}: {algorithm} mpl={mpl} "
+                f"cancelled ({error})"
+            )
+
+
+def _record_point(sweep, key, result, status, ckpt):
+    """Single-writer bookkeeping for one finished point (parent only)."""
+    if result is not None:
+        sweep.results[key] = result
+    sweep.statuses[key] = status
+    if ckpt is not None:
+        ckpt.record(key[0], key[1], result, status)
 
 
 def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
               progress=None, deadline=None, stall_timeout=None,
-              retries=0, checkpoint=None, resume=False):
+              retries=0, checkpoint=None, resume=False, workers=1):
     """Run every (algorithm, mpl) point of ``config``.
 
     ``mpls``/``algorithms`` restrict the sweep (benchmarks use a subset
@@ -195,17 +478,32 @@ def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
     optional callable invoked with a status line after each point
     (``print`` and logging functions both work).
 
+    ``workers`` selects the execution mode:
+
+    * ``1`` (default) — the classic in-process sequential loop.
+    * ``N > 1`` — the grid fans out over ``N`` worker processes; the
+      parent remains the single checkpoint writer and progress
+      reporter.  Results are **identical** to the sequential run for
+      the same seeds (per-point seeds derive from ``run.seed`` and the
+      grid key, never from scheduling order).
+    * ``0`` — shorthand for ``os.cpu_count()``.
+
     Resilience controls (all off by default, preserving the classic
     all-or-nothing behavior):
 
     * ``deadline`` — wall-clock seconds allowed per point attempt
       (checked at batch boundaries); exceeding it fails the attempt
-      with :class:`PointDeadlineExceeded`.
+      with :class:`PointDeadlineExceeded`.  In parallel mode it also
+      arms a parent-side hard backstop: if no point completes within
+      ``deadline * (retries + 1) + 30`` seconds, hung workers are
+      terminated and their points recorded ``failed``
+      (:class:`PointCancelledError`); queued points are left
+      unattempted so ``--resume`` picks them up.
     * ``stall_timeout`` — *simulated* seconds without a single commit
       before the attempt fails with :class:`SimulationStalledError`.
     * ``retries`` — extra attempts per point after a supervised
-      failure, each reseeded (``seed + k * RESEED_STRIDE``). A point
-      that exhausts its attempts is recorded as ``failed`` in
+      failure, each reseeded per :func:`point_seed`. A point that
+      exhausts its attempts is recorded as ``failed`` in
       ``SweepResult.statuses`` and the sweep continues.
     * ``checkpoint`` — path of a JSONL checkpoint file; every completed
       point (failed ones included) is flushed to it immediately. With
@@ -213,10 +511,12 @@ def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
       skipped, so only the missing ones simulate; without ``resume`` an
       existing file is truncated and the sweep starts fresh.
 
-    Only supervised failures (watchdog trips and simulation
-    pathologies such as the engine's zero-delay restart livelock
-    detector) are degraded to per-point statuses; configuration errors
-    (unknown algorithm, invalid parameters) still raise immediately.
+    Only supervised failures (watchdog trips and the engine's
+    zero-delay restart-livelock detector,
+    :class:`~repro.core.RestartLivelockError`) are degraded to
+    per-point statuses; configuration errors (unknown algorithm,
+    invalid parameters) and genuine programming errors still raise
+    immediately.
     """
     run = run or DEFAULT_RUN
     if seed is not None:
@@ -229,11 +529,15 @@ def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
         raise ValueError(
             f"stall_timeout must be > 0, got {stall_timeout}"
         )
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        workers = os.cpu_count() or 1
     mpls = tuple(mpls) if mpls is not None else config.mpls
     algorithms = (
         tuple(algorithms) if algorithms is not None else config.algorithms
     )
-    _validate_algorithms(algorithms)
+    _validate_algorithms(algorithms, workers=workers)
 
     sweep = SweepResult(config=config, run=run)
     ckpt = None
@@ -253,73 +557,29 @@ def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
         else:
             ckpt.start_fresh()
 
+    pending = [
+        (algorithm, mpl)
+        for algorithm in algorithms
+        for mpl in mpls
+        if (algorithm, mpl) not in sweep.statuses  # restored: skip
+    ]
     started = time.perf_counter()
-    supervised = deadline is not None or stall_timeout is not None
-    for algorithm in algorithms:
-        for mpl in mpls:
-            key = (algorithm, mpl)
-            if key in sweep.statuses:
-                continue  # restored from the checkpoint
-            point_started = time.perf_counter()
-            result = None
-            failure = None
-            attempts = 0
-            for attempt in range(retries + 1):
-                attempts += 1
-                attempt_run = run if attempt == 0 else run.with_changes(
-                    seed=run.seed + attempt * RESEED_STRIDE
-                )
-                watchdog = (
-                    _PointWatchdog(deadline, stall_timeout)
-                    if supervised else None
-                )
-                try:
-                    result = run_simulation(
-                        config.params_for(mpl),
-                        algorithm=algorithm,
-                        run=attempt_run,
-                        batch_callback=watchdog,
-                    )
-                    break
-                except (PointExecutionError, RuntimeError) as error:
-                    failure = error
-                    if progress is not None:
-                        outcome = (
-                            "retrying" if attempt < retries
-                            else "giving up"
-                        )
-                        progress(
-                            f"  {config.experiment_id}: {algorithm} "
-                            f"mpl={mpl} attempt {attempts} failed "
-                            f"({error}); {outcome}"
-                        )
-            wall = time.perf_counter() - point_started
-            error_text = (
-                f"{type(failure).__name__}: {failure}"
-                if failure is not None else None
+    if workers > 1 and len(pending) > 1:
+        _run_parallel(
+            sweep, pending, config, run, deadline, stall_timeout,
+            retries, workers, progress, ckpt,
+        )
+    else:
+        for algorithm, mpl in pending:
+            result, status = _execute_point(
+                config, algorithm, mpl, run, deadline, stall_timeout,
+                retries, progress=progress,
             )
-            if result is not None:
-                sweep.results[key] = result
-                status = PointStatus(
-                    status=STATUS_OK if attempts == 1 else STATUS_RETRIED,
-                    attempts=attempts,
-                    error=error_text,
-                    wall_seconds=wall,
+            if result is not None and progress is not None:
+                progress(
+                    f"  {config.experiment_id}: {result.describe()}"
                 )
-                if progress is not None:
-                    progress(
-                        f"  {config.experiment_id}: {result.describe()}"
-                    )
-            else:
-                status = PointStatus(
-                    status=STATUS_FAILED,
-                    attempts=attempts,
-                    error=error_text,
-                    wall_seconds=wall,
-                )
-            sweep.statuses[key] = status
-            if ckpt is not None:
-                ckpt.record(algorithm, mpl, result, status)
+            _record_point(sweep, (algorithm, mpl), result, status, ckpt)
     sweep.wall_seconds = time.perf_counter() - started
     return sweep
 

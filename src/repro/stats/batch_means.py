@@ -87,6 +87,10 @@ class BatchMeansAnalyzer:
     def __init__(self, warmup_batches=1, confidence=0.90):
         if warmup_batches < 0:
             raise ValueError("warmup_batches must be >= 0")
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1), got {confidence}"
+            )
         self.warmup_batches = warmup_batches
         self.confidence = confidence
         self._batches_seen = 0
@@ -125,7 +129,15 @@ class BatchMeansAnalyzer:
         return self.series(name).mean
 
     def interval(self, name, confidence=None):
-        return self.series(name).interval(confidence or self.confidence)
+        # ``is None`` sentinel, not truthiness: an explicit (invalid)
+        # falsy confidence must be rejected, not silently defaulted.
+        if confidence is None:
+            confidence = self.confidence
+        elif not 0.0 < confidence < 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1), got {confidence}"
+            )
+        return self.series(name).interval(confidence)
 
     def summary(self):
         """Mapping of variable name -> ConfidenceInterval for all series."""

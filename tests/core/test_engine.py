@@ -268,3 +268,58 @@ class TestConservation:
             for record in model.committed_history
         )
         assert model.store.installs == expected
+
+
+class TestSameInstantRestartTracker:
+    """The zero-delay restart tracker must not leak across commits.
+
+    Entries are added when a transaction restarts with no delay at the
+    instant its attempt began; before the fix they were only removed on
+    a *later-instant* restart, so a transaction whose final zero-delay
+    restart was same-instant leaked its entry forever once it
+    committed — unbounded growth over a long campaign.
+    """
+
+    def contended_none_all_params(self):
+        # Contended enough for same-instant zero-delay restarts, calm
+        # enough (with this seed) to stay under the livelock limit.
+        return small_params(
+            db_size=60, write_prob=0.5, mpl=6,
+            restart_delay_mode="none_all",
+        )
+
+    def test_tracker_entries_do_not_survive_commit(self):
+        model = SystemModel(
+            self.contended_none_all_params(), "immediate_restart",
+            seed=7, record_history=True,
+        )
+        model.run_until(40.0)
+        committed = {r.tx_id for r in model.committed_history}
+        assert committed  # the scenario actually commits work
+        # The run must have exercised the zero-delay restart path at
+        # all, or this test guards nothing.
+        assert model.metrics.restarts.total > 0
+        # No committed transaction may retain a tracker entry; any
+        # survivors belong to transactions still in flight.
+        assert not set(model._same_instant_restarts) & committed
+
+    def test_tracker_stays_empty_without_zero_delay_restarts(self):
+        result = run_simulation(
+            small_params(), algorithm="blocking",
+            run=RunConfig(batches=2, batch_time=10.0, warmup_batches=0,
+                          seed=4),
+            record_history=True,
+        )
+        assert result.model._same_instant_restarts == {}
+
+    def test_delayed_resubmit_clears_tracker_entry(self):
+        from types import SimpleNamespace
+
+        model = SystemModel(small_params(), "blocking", seed=5)
+        tx = SimpleNamespace(id=12345)
+        model._same_instant_restarts[tx.id] = 3
+        model.env.process(model._delayed_resubmit(tx, delay=50.0))
+        # The entry is dropped when the resubmit process starts, long
+        # before the delay elapses (the delay itself broke the streak).
+        model.run_until(1.0)
+        assert tx.id not in model._same_instant_restarts

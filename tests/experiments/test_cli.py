@@ -100,3 +100,22 @@ class TestMain:
         assert rows
         assert rows[0]["experiment"] == "exp3_finite"
         assert any(row["metric"] == "throughput" for row in rows)
+
+
+class TestWorkersFlag:
+    def test_default_is_sequential(self):
+        args = build_parser().parse_args(["--all"])
+        assert args.workers == 1
+
+    def test_workers_parsed(self):
+        args = build_parser().parse_args(["--all", "--workers", "4"])
+        assert args.workers == 4
+
+    def test_zero_means_all_cores(self):
+        # 0 is accepted by the parser; run_sweep expands it.
+        args = build_parser().parse_args(["--all", "--workers", "0"])
+        assert args.workers == 0
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--all", "--workers", "-2"])

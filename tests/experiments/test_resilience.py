@@ -159,8 +159,8 @@ class TestStalledSweep:
 
     def test_engine_livelock_degrades_to_failed_point(self):
         # immediate_restart with all delays stripped livelocks by
-        # design; the engine raises RuntimeError, which the resilient
-        # runner records instead of propagating.
+        # design; the engine raises RestartLivelockError, which the
+        # resilient runner records instead of propagating.
         config = tiny_config(
             params=tiny_params().with_changes(
                 restart_delay_mode="none_all", db_size=10,
@@ -172,7 +172,7 @@ class TestStalledSweep:
                           mpls=[8], stall_timeout=100.0)
         status = sweep.status("immediate_restart", 8)
         assert status.status == STATUS_FAILED
-        assert "RuntimeError" in status.error
+        assert "RestartLivelockError" in status.error
 
     def test_retry_reseeds_and_can_report_success(self):
         # A deadline generous enough for the second attempt cannot be

@@ -110,3 +110,42 @@ class TestBatchMeansAnalyzer:
         ci = a.interval("x")
         mean = sum(values) / len(values)
         assert ci.contains(mean)
+
+
+class TestExplicitConfidence:
+    """`interval` must honor an explicit confidence and reject junk.
+
+    The old code used ``confidence or self.confidence``, so an explicit
+    falsy value (0, 0.0) was silently replaced by the default instead
+    of being rejected.
+    """
+
+    def build(self, confidence=0.90):
+        a = BatchMeansAnalyzer(warmup_batches=0, confidence=confidence)
+        for v in [10.0, 12.0, 14.0, 11.0]:
+            a.record({"tps": v})
+        return a
+
+    def test_explicit_confidence_is_used(self):
+        a = self.build(confidence=0.95)
+        narrow = a.interval("tps", confidence=0.90)
+        wide = a.interval("tps", confidence=0.99)
+        assert narrow.confidence == 0.90
+        assert wide.confidence == 0.99
+        assert narrow.half_width < wide.half_width
+
+    def test_none_falls_back_to_default(self):
+        a = self.build(confidence=0.95)
+        assert a.interval("tps").confidence == 0.95
+        assert a.interval("tps", confidence=None).confidence == 0.95
+
+    @pytest.mark.parametrize("bad", [0, 0.0, 1.0, 1.5, -0.1])
+    def test_invalid_explicit_confidence_rejected(self, bad):
+        a = self.build()
+        with pytest.raises(ValueError, match="confidence"):
+            a.interval("tps", confidence=bad)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_constructor_confidence_rejected(self, bad):
+        with pytest.raises(ValueError, match="confidence"):
+            BatchMeansAnalyzer(confidence=bad)
