@@ -115,6 +115,33 @@ def test_workload_generation_rate(benchmark):
     benchmark(run)
 
 
+def test_full_model_bus_fast_path(benchmark):
+    """A complete SystemModel run with only the default subscribers.
+
+    End-to-end guard of the instrumentation bus's near-zero-overhead
+    guarantee: every transaction lifecycle event flows through the bus
+    to the metrics subscriber, and the optional high-volume kinds
+    (commit points, CC grants, resource busy/idle) must be skipped
+    before their fields are built.  ``BENCH_engine.json`` at the repo
+    root pins a reference baseline; CI uploads each run's numbers as an
+    artifact for cross-commit comparison.
+    """
+    from repro.core import SystemModel
+
+    params = SimulationParameters(
+        db_size=200, min_size=4, max_size=8, write_prob=0.25,
+        num_terms=25, mpl=10, ext_think_time=1.0,
+        obj_io=0.01, obj_cpu=0.005, num_cpus=None, num_disks=None,
+    )
+
+    def run():
+        model = SystemModel(params, "blocking", seed=11)
+        model.run_until(25.0)
+        return model.metrics.commits.total
+
+    assert benchmark(run) > 0
+
+
 def test_blocking_cc_request_path(benchmark):
     """The lock-request fast path through a full BlockingCC."""
     env = Environment()

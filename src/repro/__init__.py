@@ -39,6 +39,11 @@ from repro.faults import (
     DiskFaultSpec,
     FaultSpec,
 )
+from repro.obs import (
+    InstrumentationBus,
+    JsonlSink,
+    TimeSeriesSampler,
+)
 
 __version__ = "1.0.0"
 
@@ -50,6 +55,9 @@ __all__ = [
     "run_simulation",
     "run_until_precision",
     "SimulationResult",
+    "InstrumentationBus",
+    "TimeSeriesSampler",
+    "JsonlSink",
     "FaultSpec",
     "DiskFaultSpec",
     "CpuDegradationSpec",

@@ -9,6 +9,13 @@ and writes (interactive workloads), then reaches its commit point,
 writes its deferred updates, and completes. A restarted transaction
 re-runs with the *same* read and write sets, re-entering the back of the
 ready queue after an optional restart delay.
+
+Every operational signal leaves the engine through one instrumentation
+bus (:mod:`repro.obs`): metrics, tracing, committed-history recording
+and any extra subscribers all consume the same event stream. With only
+the default metrics subscriber attached, optional high-volume kinds
+(commit points, CC grants, resource busy/idle) are skipped before their
+event fields are even built.
 """
 
 from collections import deque
@@ -23,6 +30,7 @@ from repro.cc import (
     create_algorithm,
 )
 from repro.core.errors import RestartLivelockError
+from repro.core.history import CommittedRecord
 from repro.core.metrics import MetricsCollector
 from repro.core.params import (
     ARRIVAL_OPEN,
@@ -37,33 +45,24 @@ from repro.core.transaction import TxState
 from repro.core.workload import WorkloadGenerator
 from repro.des import Environment, Interrupt, StreamFactory
 from repro.faults import FaultInjector
+from repro.obs import (
+    HistorySubscriber,
+    InstrumentationBus,
+    MetricsSubscriber,
+    TraceSubscriber,
+)
+from repro.obs.events import (
+    CC_GRANT,
+    TX_ADMIT,
+    TX_BLOCK,
+    TX_COMMIT_POINT,
+    TX_COMPLETE,
+    TX_RESTART,
+    TX_RESUBMIT,
+    TX_SUBMIT,
+)
 
-
-class CommittedRecord:
-    """Immutable record of one committed transaction, for verification."""
-
-    __slots__ = (
-        "tx_id",
-        "read_set",
-        "write_set",
-        "installed_writes",
-        "reads_seen",
-        "serial_key",
-        "commit_time",
-        "attempts",
-    )
-
-    def __init__(self, tx, commit_point_time):
-        self.tx_id = tx.id
-        self.read_set = tuple(tx.read_set)
-        self.write_set = frozenset(tx.write_set)
-        self.installed_writes = frozenset(tx.install_write_set)
-        self.reads_seen = dict(tx.reads_seen)
-        self.serial_key = tx.serial_key
-        #: Time the commit point was reached (deferred-update I/O may
-        #: still follow; tx.commit_time records final completion).
-        self.commit_time = commit_point_time
-        self.attempts = tx.attempts
+__all__ = ["SystemModel", "CommittedRecord"]
 
 
 class SystemModel:
@@ -71,15 +70,24 @@ class SystemModel:
 
     Implements the :class:`repro.cc.EngineHooks` protocol (block counting
     and remote aborts) for the attached algorithm.
+
+    ``subscribers`` attaches additional instrumentation-bus consumers
+    (e.g. :class:`repro.obs.TimeSeriesSampler`,
+    :class:`repro.obs.JsonlSink`); ``tracer`` and ``record_history``
+    remain as conveniences that attach the corresponding built-in
+    subscribers.
     """
 
     def __init__(self, params, algorithm="blocking", seed=42,
-                 record_history=False, tracer=None, workload=None):
+                 record_history=False, tracer=None, workload=None,
+                 subscribers=()):
         self.params = params
-        #: Optional repro.des.trace.TraceRecorder receiving transaction
-        #: lifecycle events (submit/admit/block/restart/commit).
-        self.tracer = tracer
         self.env = Environment()
+        #: The unified instrumentation bus all events flow through.
+        self.bus = InstrumentationBus(self.env)
+        #: Optional repro.des.trace.TraceRecorder receiving transaction
+        #: lifecycle (and every other) event via a TraceSubscriber.
+        self.tracer = tracer
         self.streams = StreamFactory(seed)
         if isinstance(algorithm, ConcurrencyControl):
             self.cc = algorithm
@@ -89,7 +97,9 @@ class SystemModel:
         # Anything with a new_transaction(terminal_id) method works as a
         # workload source; ReplayWorkload substitutes recorded traces.
         self.workload = workload or WorkloadGenerator(params, self.streams)
-        self.physical = PhysicalModel(self.env, params, self.streams)
+        self.physical = PhysicalModel(
+            self.env, params, self.streams, bus=self.bus
+        )
         #: Fault injector driving params.faults, or None when the run
         #: is healthy. A null spec starts no injector at all, so the
         #: healthy path stays bit-identical to pre-fault builds.
@@ -97,16 +107,26 @@ class SystemModel:
         if params.faults is not None and not params.faults.is_null:
             self.fault_injector = FaultInjector(
                 self.env, params.faults, self.physical, self.streams,
-                trace=self._trace,
+                bus=self.bus,
             ).start()
         self.metrics = MetricsCollector(self.env, params, self.physical)
+        # Subscriber attach order fixes dispatch order: metrics first
+        # (the default fast path), then tracing/history, then caller
+        # extras.
+        self.bus.attach(MetricsSubscriber(self.metrics), model=self)
+        if tracer is not None:
+            self.bus.attach(TraceSubscriber(tracer), model=self)
+        self._history = None
+        if record_history:
+            self._history = self.bus.attach(HistorySubscriber(), model=self)
+        for subscriber in subscribers:
+            self.bus.attach(subscriber, model=self)
         self.store = ObjectStore()
         self.ready_queue = deque()
         self.active_count = 0
         #: Admission limit; starts at params.mpl. Mutable at run time so
         #: adaptive controllers (repro.analysis.adaptive) can retune it.
         self.mpl_limit = params.mpl
-        self.committed_history = [] if record_history else None
         self._ts_seq = count()
         self._same_instant_restarts = {}
         self._int_think_rng = self.streams.stream("int_think")
@@ -117,15 +137,15 @@ class SystemModel:
             for terminal_id in range(params.num_terms):
                 self.env.process(self._terminal(terminal_id))
 
+    @property
+    def committed_history(self):
+        """CommittedRecords of this run (None without record_history)."""
+        return None if self._history is None else self._history.records
+
     # -- EngineHooks protocol ------------------------------------------------
 
     def count_block(self, tx):
-        self.metrics.record_block(tx)
-        self._trace("block", tx=tx.id, attempt=tx.attempts)
-
-    def _trace(self, kind, **fields):
-        if self.tracer is not None:
-            self.tracer.record(self.env.now, kind, **fields)
+        self.bus.emit(TX_BLOCK, tx=tx)
 
     def abort_remote(self, tx, error):
         """Abort a transaction that is not waiting on a CC event.
@@ -184,30 +204,26 @@ class SystemModel:
         """Append to the back of the ready queue and admit if possible."""
         tx.state = TxState.READY
         self.ready_queue.append(tx)
-        self.metrics.ready_queue_level.add(1)
         if tx.attempts == 0:
-            self._trace("submit", tx=tx.id, terminal=tx.terminal_id,
-                        reads=len(tx.read_set), writes=len(tx.write_set))
+            self.bus.emit(TX_SUBMIT, tx=tx)
+        else:
+            self.bus.emit(TX_RESUBMIT, tx=tx)
         self._try_admit()
 
     def _try_admit(self):
         while self.ready_queue and self.active_count < self.mpl_limit:
-            tx = self.ready_queue.popleft()
-            self.metrics.ready_queue_level.add(-1)
-            self._start_attempt(tx)
+            self._start_attempt(self.ready_queue.popleft())
 
     def _start_attempt(self, tx):
         self.active_count += 1
-        self.metrics.active_level.add(1)
         tx.begin_attempt(self.env.now, self.next_timestamp())
         self._assign_cc_units(tx)
         self.cc.begin(tx)
-        self._trace("admit", tx=tx.id, attempt=tx.attempts)
+        self.bus.emit(TX_ADMIT, tx=tx)
         tx.process = self.env.process(self._execute(tx))
 
     def _leave_active(self, tx):
         self.active_count -= 1
-        self.metrics.active_level.add(-1)
         self._try_admit()
 
     # -- transaction execution --------------------------------------------------
@@ -241,7 +257,7 @@ class SystemModel:
         try:
             for obj in tx.read_set:
                 yield from self._cc_request(
-                    tx, self.cc.read_request, cc_unit(obj)
+                    tx, self.cc.read_request, cc_unit(obj), "read"
                 )
                 version = self.store.read(
                     obj, self.cc.reader_version_key(tx)
@@ -260,7 +276,7 @@ class SystemModel:
 
             for obj in self._write_order(tx):
                 yield from self._cc_request(
-                    tx, self.cc.write_request, cc_unit(obj)
+                    tx, self.cc.write_request, cc_unit(obj), "write"
                 )
                 yield from self.physical.write_request_work(tx)
 
@@ -297,7 +313,7 @@ class SystemModel:
                 raise
             self._handle_restart(tx, cause)
 
-    def _cc_request(self, tx, request_method, obj):
+    def _cc_request(self, tx, request_method, obj, op):
         """Issue one CC request, waiting (possibly repeatedly) as needed.
 
         Re-issues the request after each wait so algorithms with
@@ -309,6 +325,8 @@ class SystemModel:
         while True:
             event = request_method(tx, obj)
             if event is None:
+                if self.bus.wants_cc:
+                    self.bus.emit(CC_GRANT, tx=tx, obj=obj, op=op)
                 return
             tx.state = TxState.BLOCKED
             yield event
@@ -319,21 +337,20 @@ class SystemModel:
         return [obj for obj in tx.read_set if obj in tx.write_set]
 
     def _install_writes(self, tx):
-        """Atomically install the transaction's writes at its commit point,
-        and record the commit in the verification history.
+        """Atomically install the transaction's writes at its commit point.
 
-        Recording here — rather than at completion — keeps the history
-        and the object store consistent under any run cutoff: once a
-        transaction's writes are installed it can no longer abort, even
-        though its deferred-update I/O may still be in flight when the
-        simulation clock stops.
+        Installing here — rather than at completion — keeps the
+        committed history and the object store consistent under any run
+        cutoff: once a transaction's writes are installed it can no
+        longer abort, even though its deferred-update I/O may still be
+        in flight when the simulation clock stops. The ``commit_point``
+        event drives history recording and commit-point tracing; it is
+        skipped entirely when nobody subscribed.
         """
         for obj in tx.install_write_set:
             self.store.install(obj, tx.serial_key, tx.id, self.env.now)
-        if self.committed_history is not None:
-            self.committed_history.append(
-                CommittedRecord(tx, commit_point_time=self.env.now)
-            )
+        if self.bus.wants_commit_point:
+            self.bus.emit(TX_COMMIT_POINT, tx=tx)
 
     # -- completion and restarts ----------------------------------------------------
 
@@ -343,9 +360,7 @@ class SystemModel:
         # A committed transaction's zero-delay restart streak is over;
         # without this the tracker grows without bound over a campaign.
         self._same_instant_restarts.pop(tx.id, None)
-        self._trace("commit", tx=tx.id, attempt=tx.attempts,
-                    response=tx.response_time())
-        self.metrics.record_commit(tx)
+        self.bus.emit(TX_COMPLETE, tx=tx)
         self.physical.charge_attempt(tx, useful=True)
         self._leave_active(tx)
         tx.done_event.succeed()
@@ -359,9 +374,7 @@ class SystemModel:
     def _handle_restart(self, tx, error):
         self.cc.abort(tx)
         self.physical.charge_attempt(tx, useful=False)
-        self._trace("restart", tx=tx.id, attempt=tx.attempts,
-                    reason=error.reason)
-        self.metrics.record_restart(tx, error.reason)
+        self.bus.emit(TX_RESTART, tx=tx, reason=error.reason)
         self._leave_active(tx)
         delay = self._sample_restart_delay()
         if delay > 0.0:
@@ -408,7 +421,8 @@ class SystemModel:
             policy = DELAY_ADAPTIVE
         elif mode == DELAY_MODE_NONE_ALL:
             policy = DELAY_NONE
-        else:  # DELAY_MODE_FIXED_ALL
+        else:
+            assert mode == DELAY_MODE_FIXED_ALL, mode
             return self._restart_delay_rng.exponential(
                 self.params.restart_delay
             )

@@ -1,0 +1,35 @@
+"""The committed-transaction history record, for verification.
+
+Lives in its own module (rather than in :mod:`repro.core.engine`) so
+the observability subscribers (:mod:`repro.obs.subscribers`) can build
+records without importing the engine.
+"""
+
+__all__ = ["CommittedRecord"]
+
+
+class CommittedRecord:
+    """Immutable record of one committed transaction, for verification."""
+
+    __slots__ = (
+        "tx_id",
+        "read_set",
+        "write_set",
+        "installed_writes",
+        "reads_seen",
+        "serial_key",
+        "commit_time",
+        "attempts",
+    )
+
+    def __init__(self, tx, commit_point_time):
+        self.tx_id = tx.id
+        self.read_set = tuple(tx.read_set)
+        self.write_set = frozenset(tx.write_set)
+        self.installed_writes = frozenset(tx.install_write_set)
+        self.reads_seen = dict(tx.reads_seen)
+        self.serial_key = tx.serial_key
+        #: Time the commit point was reached (deferred-update I/O may
+        #: still follow; tx.commit_time records final completion).
+        self.commit_time = commit_point_time
+        self.attempts = tx.attempts

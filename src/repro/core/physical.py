@@ -16,6 +16,7 @@ consumed is charged.
 """
 
 from repro.des import BusyTracker, InfiniteResource, Resource
+from repro.obs.events import RESOURCE_BUSY, RESOURCE_IDLE
 
 #: CPU queue priority classes: CC requests beat object processing.
 CC_PRIORITY = 0
@@ -25,9 +26,13 @@ OBJECT_PRIORITY = 1
 class PhysicalModel:
     """CPU pool + partitioned disks, with utilization accounting."""
 
-    def __init__(self, env, params, streams):
+    def __init__(self, env, params, streams, bus=None):
         self.env = env
         self.params = params
+        #: Optional repro.obs.InstrumentationBus for resource busy/idle
+        #: events; emission is guarded by its ``wants_resource`` flag so
+        #: the unobserved case costs one attribute load per service.
+        self.bus = bus
         self._disk_rng = streams.stream("physical.disk_choice")
         #: Optional repro.faults.FaultInjector; set by its start().
         #: None (the default) is the always-healthy physical model.
@@ -69,30 +74,40 @@ class PhysicalModel:
             return
         if self.faults is not None:
             amount *= self.faults.cpu_factor
+        bus = self.bus
         with self.cpu.request(priority=priority) as request:
             yield request
             self.cpu_tracker.acquire()
+            if bus is not None and bus.wants_resource:
+                bus.emit(RESOURCE_BUSY, resource="cpu", tx=tx)
             start = self.env.now
             try:
                 yield self.env.timeout(amount)
             finally:
                 self.cpu_tracker.release()
                 tx.attempt_cpu_time += self.env.now - start
+                if bus is not None and bus.wants_resource:
+                    bus.emit(RESOURCE_IDLE, resource="cpu", tx=tx)
 
     def disk_service(self, tx, amount):
         """Hold a uniformly chosen disk for ``amount`` seconds."""
         if amount <= 0.0:
             return
-        disk = self.disks[self._disk_rng.uniform_int(0, len(self.disks) - 1)]
-        with disk.request() as request:
+        disk_index = self._disk_rng.uniform_int(0, len(self.disks) - 1)
+        bus = self.bus
+        with self.disks[disk_index].request() as request:
             yield request
             self.disk_tracker.acquire()
+            if bus is not None and bus.wants_resource:
+                bus.emit(RESOURCE_BUSY, resource="disk", disk=disk_index, tx=tx)
             start = self.env.now
             try:
                 yield self.env.timeout(amount)
             finally:
                 self.disk_tracker.release()
                 tx.attempt_disk_time += self.env.now - start
+                if bus is not None and bus.wants_resource:
+                    bus.emit(RESOURCE_IDLE, resource="disk", disk=disk_index, tx=tx)
 
     # -- model-level composites -----------------------------------------------
 

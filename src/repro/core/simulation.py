@@ -52,6 +52,10 @@ class SimulationResult:
     totals: Dict[str, Any] = field(default_factory=dict)
     #: The model, kept only when history recording was requested.
     model: Optional[SystemModel] = None
+    #: Optional per-run observability payload (e.g. the time-series
+    #: sampled by the sweep runner). Plain JSON-serializable data; None
+    #: when no diagnostics were requested, so summaries are unchanged.
+    diagnostics: Optional[Dict[str, Any]] = None
 
     def mean(self, name):
         """Grand mean of a per-batch output variable."""
@@ -85,7 +89,8 @@ class SimulationResult:
 
 
 def run_simulation(params, algorithm="blocking", run=None, seed=None,
-                   record_history=False, batch_callback=None):
+                   record_history=False, batch_callback=None,
+                   tracer=None, subscribers=()):
     """Run one configuration to completion using modified batch means.
 
     ``run.warmup_batches`` initial batches are simulated but discarded;
@@ -93,6 +98,12 @@ def run_simulation(params, algorithm="blocking", run=None, seed=None,
     ``seed`` overrides ``run.seed`` when given. With ``record_history``
     the result keeps the model (and its committed history) for
     verification — costs memory, off by default.
+
+    ``tracer`` (a :class:`~repro.des.TraceRecorder`) and ``subscribers``
+    (extra :mod:`repro.obs` consumers, e.g. a
+    :class:`~repro.obs.TimeSeriesSampler` or :class:`~repro.obs.JsonlSink`)
+    are forwarded to the model's instrumentation bus. Subscribers only
+    observe, so attaching them leaves the result bit-identical.
 
     ``batch_callback``, if given, is invoked with the model after every
     batch boundary (warmup included). It exists for run supervision —
@@ -109,6 +120,8 @@ def run_simulation(params, algorithm="blocking", run=None, seed=None,
         algorithm=algorithm,
         seed=run.seed,
         record_history=record_history,
+        tracer=tracer,
+        subscribers=subscribers,
     )
     analyzer = BatchMeansAnalyzer(
         warmup_batches=run.warmup_batches, confidence=run.confidence
@@ -133,7 +146,8 @@ def run_simulation(params, algorithm="blocking", run=None, seed=None,
 
 def run_until_precision(params, algorithm="blocking", run=None,
                         metric="throughput", target_relative_hw=0.05,
-                        max_batches=200, seed=None):
+                        max_batches=200, seed=None,
+                        tracer=None, subscribers=()):
     """Run with a *sequential stopping rule* instead of a fixed length.
 
     The paper chose its batch times per experiment to get "sufficiently
@@ -156,7 +170,10 @@ def run_until_precision(params, algorithm="blocking", run=None,
     run = run or RunConfig()
     if seed is not None:
         run = run.with_changes(seed=seed)
-    model = SystemModel(params, algorithm=algorithm, seed=run.seed)
+    model = SystemModel(
+        params, algorithm=algorithm, seed=run.seed,
+        tracer=tracer, subscribers=subscribers,
+    )
     analyzer = BatchMeansAnalyzer(
         warmup_batches=run.warmup_batches, confidence=run.confidence
     )

@@ -101,6 +101,11 @@ class BusyTracker:
     def release(self):
         self._busy.add(-1)
 
+    @property
+    def busy_now(self):
+        """Servers busy at this instant (time-series sampling)."""
+        return self._busy.value
+
     def record_outcome(self, service_time, useful):
         """Attribute ``service_time`` of consumed service to an outcome."""
         if useful:

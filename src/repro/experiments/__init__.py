@@ -26,14 +26,21 @@ from repro.experiments.figures import FIGURE_TITLES, FigureBuilder, FigureData
 from repro.experiments.export import (
     rows_to_csv_text,
     sweep_to_rows,
+    timeseries_to_rows,
     write_csv,
+    write_timeseries_csv,
 )
 from repro.experiments.persistence import (
     SweepCheckpoint,
     load_sweep,
     save_sweep,
 )
-from repro.experiments.report import ascii_plot, format_table, sweep_report
+from repro.experiments.report import (
+    ascii_plot,
+    conflict_ratio_table,
+    format_table,
+    sweep_report,
+)
 from repro.experiments.runner import (
     DEFAULT_RUN,
     QUICK_RUN,
@@ -41,6 +48,7 @@ from repro.experiments.runner import (
     STATUS_OK,
     STATUS_RETRIED,
     PointStatus,
+    PointTrace,
     SweepResult,
     point_seed,
     run_sweep,
@@ -63,6 +71,10 @@ __all__ = [
     "sweep_to_rows",
     "write_csv",
     "rows_to_csv_text",
+    "timeseries_to_rows",
+    "write_timeseries_csv",
+    "conflict_ratio_table",
+    "PointTrace",
     "save_sweep",
     "load_sweep",
     "SweepCheckpoint",

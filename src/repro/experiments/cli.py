@@ -24,16 +24,32 @@ Examples::
     # availability study: paper experiment under injected disk crashes
     repro-experiments --experiment exp6_disk_faults --quick
     repro-experiments --figure 8 --quick --inject disk_storm
+
+    # observability: stream per-point event traces and sample the
+    # queue/utilization time-series every 2 simulated seconds
+    repro-experiments --figure 8 --quick --trace --trace-out traces \
+        --trace-kinds submit,restart,commit \
+        --timeseries 2 --timeseries-csv fig8_ts.csv
+
+    # one diagnostic run of a single algorithm (no sweep)
+    repro-experiments --single blocking --mpl 50 --quick --trace
 """
 
 import argparse
+import os
 import sys
 
+from repro.cc.registry import algorithm_names
 from repro.experiments.configs import FIGURE_INDEX, experiment_configs
 from repro.experiments.errors import CheckpointMismatchError
 from repro.experiments.figures import FigureBuilder
 from repro.experiments.report import sweep_report
-from repro.experiments.runner import DEFAULT_RUN, QUICK_RUN, print_progress
+from repro.experiments.runner import (
+    DEFAULT_RUN,
+    QUICK_RUN,
+    PointTrace,
+    print_progress,
+)
 from repro.faults import scenario, scenario_names
 
 
@@ -60,6 +76,15 @@ def build_parser():
     )
     what.add_argument(
         "--all", action="store_true", help="run every experiment"
+    )
+    what.add_argument(
+        "--single", metavar="ALGORITHM", default=None,
+        help=(
+            "one diagnostic run of a single algorithm on the paper's "
+            "base (Table 2) parameters instead of a sweep; combine "
+            "with --mpl (first value; default 25), --inject, --trace "
+            "and --timeseries"
+        ),
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -135,6 +160,40 @@ def build_parser():
             f"(choices: {', '.join(scenario_names())})"
         ),
     )
+    observability = parser.add_argument_group(
+        "observability",
+        "stream instrumentation-bus events and periodic time-series "
+        "samples out of every simulated point",
+    )
+    observability.add_argument(
+        "--trace", action="store_true",
+        help=(
+            "write each point's event stream to a JSONL file (one "
+            "file per (algorithm, mpl) point)"
+        ),
+    )
+    observability.add_argument(
+        "--trace-out", metavar="DIR", default=None,
+        help="directory for trace files (default: traces)",
+    )
+    observability.add_argument(
+        "--trace-kinds", metavar="KINDS", default=None,
+        help=(
+            "comma-separated event kinds to trace (default: all; e.g. "
+            "submit,block,restart,commit)"
+        ),
+    )
+    observability.add_argument(
+        "--timeseries", type=float, metavar="SIM_SECONDS", default=None,
+        help=(
+            "sample queue lengths, utilizations and cumulative counts "
+            "every SIM_SECONDS of simulated time"
+        ),
+    )
+    observability.add_argument(
+        "--timeseries-csv", metavar="PATH", default=None,
+        help="write the sampled time-series to a CSV file",
+    )
     return parser
 
 
@@ -167,6 +226,19 @@ def main(argv=None):
         )
     if args.workers < 0:
         parser.error(f"--workers must be >= 0, got {args.workers}")
+    if args.trace_out is not None and not args.trace:
+        parser.error("--trace-out requires --trace")
+    if args.trace_kinds is not None and not args.trace:
+        parser.error("--trace-kinds requires --trace")
+    if args.timeseries is not None and args.timeseries <= 0:
+        parser.error(f"--timeseries must be > 0, got {args.timeseries}")
+    if args.timeseries_csv is not None and args.timeseries is None:
+        parser.error("--timeseries-csv requires --timeseries")
+    if args.single is not None and args.single not in algorithm_names():
+        parser.error(
+            f"--single: unknown algorithm {args.single!r} "
+            f"(choose from {', '.join(algorithm_names())})"
+        )
     try:
         return _dispatch(args)
     except CheckpointMismatchError as error:
@@ -180,8 +252,28 @@ def main(argv=None):
         return 2
 
 
+def _parse_trace_kinds(text):
+    """``"submit, restart"`` -> ``("submit", "restart")`` (None = all)."""
+    if text is None:
+        return None
+    kinds = tuple(k.strip() for k in text.split(",") if k.strip())
+    return kinds or None
+
+
+def _trace_option(args):
+    """The run_sweep ``trace=`` value implied by the CLI flags."""
+    if not args.trace:
+        return None
+    return PointTrace(
+        directory=args.trace_out or "traces",
+        kinds=_parse_trace_kinds(args.trace_kinds),
+    )
+
+
 def _dispatch(args):
     run = resolve_run(args)
+    if args.single is not None:
+        return _run_single(args, run)
     builder = FigureBuilder(
         run=run,
         mpls=args.mpls,
@@ -194,6 +286,8 @@ def _dispatch(args):
         stall_timeout=args.stall_timeout,
         retries=args.retries,
         workers=args.workers,
+        timeseries=args.timeseries,
+        trace=_trace_option(args),
     )
     configs = experiment_configs()
     if args.figure is not None:
@@ -203,6 +297,8 @@ def _dispatch(args):
         print(data.describe())
         if args.csv:
             _export_csv([data.sweep], args.csv)
+        if args.timeseries_csv:
+            _export_timeseries_csv([data.sweep], args.timeseries_csv)
         return 0 if data.sweep.complete else 1
     if args.experiment is not None:
         experiment_ids = [args.experiment]
@@ -219,8 +315,79 @@ def _dispatch(args):
         print()
     if args.csv:
         _export_csv(sweeps, args.csv)
+    if args.timeseries_csv:
+        _export_timeseries_csv(sweeps, args.timeseries_csv)
     # Partial results exit 1 so schedulers notice degraded sweeps.
     return 0 if all(sweep.complete for sweep in sweeps) else 1
+
+
+def _run_single(args, run):
+    """One diagnostic run of one algorithm (the ``--single`` command)."""
+    from repro.core import SimulationParameters, run_simulation
+    from repro.obs import JsonlSink, TimeSeriesSampler
+
+    mpl = args.mpls[0] if args.mpls else 25
+    params = SimulationParameters.table2(mpl=mpl)
+    if args.inject:
+        params = params.with_changes(faults=scenario(args.inject))
+    sampler = sink = None
+    subscribers = []
+    if args.timeseries is not None:
+        sampler = TimeSeriesSampler(interval=args.timeseries)
+        subscribers.append(sampler)
+    if args.trace:
+        directory = args.trace_out or "traces"
+        os.makedirs(directory, exist_ok=True)
+        sink = JsonlSink(
+            os.path.join(
+                directory, f"single.{args.single}.mpl{mpl:03d}.jsonl"
+            ),
+            kinds=_parse_trace_kinds(args.trace_kinds),
+        )
+        subscribers.append(sink)
+    try:
+        result = run_simulation(
+            params, algorithm=args.single, run=run,
+            subscribers=tuple(subscribers),
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+    print(result.describe())
+    totals = result.totals
+    commits = totals.get("commits", 0)
+    if commits:
+        print(
+            f"whole run: commits={commits}  "
+            f"blocks/commit={totals.get('blocks', 0) / commits:.2f}  "
+            f"restarts/commit={totals.get('restarts', 0) / commits:.2f}"
+        )
+    if sink is not None:
+        print(
+            f"[trace: {sink.events_written} events -> {sink.path}]",
+            file=sys.stderr,
+        )
+    if sampler is not None:
+        print(
+            f"[timeseries: {len(sampler)} samples at "
+            f"{args.timeseries:g}s interval]",
+            file=sys.stderr,
+        )
+        if args.timeseries_csv:
+            _write_single_timeseries(sampler, args.timeseries_csv)
+    return 0
+
+
+def _write_single_timeseries(sampler, path):
+    import csv
+
+    from repro.obs import SAMPLE_FIELDS
+
+    with open(path, "w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=SAMPLE_FIELDS)
+        writer.writeheader()
+        writer.writerows(sampler.rows())
+    print(f"[wrote {len(sampler)} samples to {path}]", file=sys.stderr)
 
 
 def _export_csv(sweeps, path):
@@ -237,6 +404,25 @@ def _export_csv(sweeps, path):
             writer.writerows(rows)
             total += len(rows)
     print(f"[wrote {total} rows to {path}]", file=sys.stderr)
+
+
+def _export_timeseries_csv(sweeps, path):
+    import csv
+
+    from repro.experiments.export import (
+        TIMESERIES_COLUMNS,
+        timeseries_to_rows,
+    )
+
+    with open(path, "w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=TIMESERIES_COLUMNS)
+        writer.writeheader()
+        total = 0
+        for sweep in sweeps:
+            rows = timeseries_to_rows(sweep)
+            writer.writerows(rows)
+            total += len(rows)
+    print(f"[wrote {total} time-series rows to {path}]", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -3,10 +3,17 @@
 ``sweep_to_rows`` flattens a :class:`~repro.experiments.runner.SweepResult`
 into one row per (algorithm, mpl, metric); ``write_csv`` serializes the
 rows so the figures can be re-plotted with any external tool.
+
+``timeseries_to_rows``/``write_timeseries_csv`` do the same for the
+per-point time-series diagnostics captured by
+``run_sweep(..., timeseries=...)``: one row per sample tick per point,
+long format, ready for pandas/gnuplot.
 """
 
 import csv
 import io
+
+from repro.obs import SAMPLE_FIELDS
 
 #: Column order of the flattened rows.
 CSV_COLUMNS = (
@@ -78,3 +85,56 @@ def _write_rows(fileobj, rows):
     writer = csv.DictWriter(fileobj, fieldnames=CSV_COLUMNS)
     writer.writeheader()
     writer.writerows(rows)
+
+
+#: Column order of the flattened time-series rows: point identity, then
+#: the sampler's fields in their canonical order.
+TIMESERIES_COLUMNS = ("experiment", "algorithm", "mpl") + SAMPLE_FIELDS
+
+
+def timeseries_to_rows(sweep):
+    """Flatten every point's sampled time-series into long-format rows.
+
+    Points without diagnostics (sweep run without ``timeseries=``, or
+    loaded from a pre-observability document) contribute no rows.
+    """
+    experiment = sweep.config.experiment_id
+    rows = []
+    for (algorithm, mpl), result in sorted(sweep.results.items()):
+        diagnostics = result.diagnostics or {}
+        timeseries = diagnostics.get("timeseries")
+        if not timeseries:
+            continue
+        series = timeseries["series"]
+        for index in range(len(series["time"])):
+            row = {
+                "experiment": experiment,
+                "algorithm": algorithm,
+                "mpl": mpl,
+            }
+            for fieldname in SAMPLE_FIELDS:
+                row[fieldname] = series[fieldname][index]
+            rows.append(row)
+    return rows
+
+
+def write_timeseries_csv(sweep, destination):
+    """Write the sweep's time-series diagnostics to ``destination``.
+
+    ``destination`` may be a path or a writable text file object.
+    Returns the number of data rows written (0 when the sweep carries
+    no time-series diagnostics).
+    """
+    rows = timeseries_to_rows(sweep)
+
+    def write(fileobj):
+        writer = csv.DictWriter(fileobj, fieldnames=TIMESERIES_COLUMNS)
+        writer.writeheader()
+        writer.writerows(rows)
+
+    if hasattr(destination, "write"):
+        write(destination)
+    else:
+        with open(destination, "w", newline="") as f:
+            write(f)
+    return len(rows)

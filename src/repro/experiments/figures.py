@@ -88,8 +88,10 @@ class FigureBuilder:
     checkpoints each experiment's sweep to
     ``<dir>/<experiment_id>.ckpt.jsonl`` (created on demand); other
     ``sweep_options`` are forwarded to :func:`run_sweep` verbatim
-    (deadline, retries, stall_timeout, resume, workers, ...), so the
-    CLI's ``--workers`` process fan-out applies to every figure's sweep.
+    (deadline, retries, stall_timeout, resume, workers, and the
+    observability options ``timeseries``/``trace``, ...), so the CLI's
+    ``--workers`` process fan-out and ``--trace``/``--timeseries``
+    instrumentation apply to every figure's sweep.
     """
 
     def __init__(self, run=None, mpls=None, algorithms=None, progress=None,

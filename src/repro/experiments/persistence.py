@@ -46,17 +46,27 @@ CHECKPOINT_FORMAT = "repro-sweep-checkpoint-v1"
 
 
 def _point_payload(result):
-    """The serializable measurement payload of one successful point."""
-    return {
+    """The serializable measurement payload of one successful point.
+
+    ``diagnostics`` (per-point observability: sampled time-series,
+    trace-file pointers) is included only when present, so documents
+    written without observability are byte-identical to the v1 layout
+    and old readers simply ignore the extra key.
+    """
+    payload = {
         "series": {
             name: result.analyzer.series(name).values
             for name in result.analyzer.names()
         },
         "totals": _jsonable(result.totals),
     }
+    if result.diagnostics is not None:
+        payload["diagnostics"] = _jsonable(result.diagnostics)
+    return payload
 
 
-def _rebuild_result(algorithm, mpl, series, totals, config, run):
+def _rebuild_result(algorithm, mpl, series, totals, config, run,
+                    diagnostics=None):
     """Reconstruct a SimulationResult from its saved batch series."""
     analyzer = BatchMeansAnalyzer(
         warmup_batches=0, confidence=run.confidence
@@ -74,6 +84,7 @@ def _rebuild_result(algorithm, mpl, series, totals, config, run):
         run=run,
         analyzer=analyzer,
         totals=totals or {},
+        diagnostics=diagnostics,
     )
 
 
@@ -155,6 +166,7 @@ def load_sweep(path):
         sweep.results[(point["algorithm"], mpl)] = _rebuild_result(
             point["algorithm"], mpl, point["series"],
             point.get("totals", {}), config, run,
+            diagnostics=point.get("diagnostics"),
         )
     for entry in document.get("statuses", []):
         sweep.statuses[(entry["algorithm"], entry["mpl"])] = (
@@ -261,6 +273,7 @@ class SweepCheckpoint:
                 sweep.results[(algorithm, mpl)] = _rebuild_result(
                     algorithm, mpl, point["series"],
                     point.get("totals", {}), self.config, self.run,
+                    diagnostics=point.get("diagnostics"),
                 )
             restored += 1
         return restored

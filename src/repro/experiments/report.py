@@ -103,6 +103,43 @@ def ascii_plot(sweep, metric, height=14, width=64):
     return "\n".join(lines)
 
 
+def conflict_ratio_table(sweep):
+    """Paper-style conflict diagnostics: blocks and restarts per commit.
+
+    The batch-means tables above report per-batch *means*; this table
+    reports the whole-run ratios from each point's cumulative totals
+    (warmup included), which is how the paper discusses its blocking
+    and restart behavior ("the blocking algorithm ... blocked roughly
+    N times per commit").  Points whose totals are unavailable (e.g. a
+    sweep document saved before totals existed) render as ``-``.
+    """
+    algorithms = sweep.algorithms()
+    mpls = sweep.mpls()
+    width = 20
+    header = "mpl".rjust(5) + "".join(
+        alg.rjust(width) for alg in algorithms
+    )
+    lines = [
+        "Conflict ratios (whole run): blocks/commit  restarts/commit",
+        header,
+        "-" * len(header),
+    ]
+    for mpl in mpls:
+        cells = []
+        for algorithm in algorithms:
+            result = sweep.results.get((algorithm, mpl))
+            totals = result.totals if result is not None else {}
+            commits = totals.get("commits")
+            if not commits:
+                cells.append("-".rjust(width))
+                continue
+            blocks = totals.get("blocks", 0) / commits
+            restarts = totals.get("restarts", 0) / commits
+            cells.append(f"{blocks:8.2f}  {restarts:8.2f}".rjust(width))
+        lines.append(f"{mpl:5d}" + "".join(cells))
+    return "\n".join(lines)
+
+
 def sweep_report(sweep, with_plots=True):
     """Full textual report of one experiment sweep."""
     config = sweep.config
@@ -122,6 +159,8 @@ def sweep_report(sweep, with_plots=True):
         if with_plots:
             lines.append(ascii_plot(sweep, metric))
             lines.append("")
+    lines.append(conflict_ratio_table(sweep))
+    lines.append("")
     failed = sweep.failed_points()
     if failed:
         lines.append("FAILED POINTS (excluded from tables above):")

@@ -36,6 +36,7 @@ from repro.experiments.errors import (
     SimulationStalledError,
     WorkerCrashError,
 )
+from repro.obs import JsonlSink, TimeSeriesSampler
 
 #: Run controls sized for a laptop. The paper used 20 batches with a
 #: "large batch time" on a VAX cluster; these defaults produce the same
@@ -83,6 +84,66 @@ def point_seed(seed, algorithm, mpl, attempt):
         return seed
     offset = zlib.crc32(f"{algorithm}:{mpl}".encode()) % RESEED_STRIDE
     return seed + attempt * RESEED_STRIDE + offset
+
+
+@dataclass(frozen=True)
+class PointTrace:
+    """Per-point event-trace request for a sweep.
+
+    Each grid point streams its instrumentation-bus events to
+    ``<directory>/<experiment>.<algorithm>.mpl<NNN>.jsonl`` through a
+    :class:`~repro.obs.JsonlSink`.  ``kinds`` restricts the subscribed
+    event kinds (None = every kind, including high-volume resource and
+    CC-grant events).  Frozen and built from plain values so it pickles
+    cleanly into sweep worker processes.
+    """
+
+    directory: str
+    kinds: Optional[Tuple[str, ...]] = None
+
+    def point_path(self, experiment_id, algorithm, mpl):
+        return os.path.join(
+            self.directory,
+            f"{experiment_id}.{algorithm}.mpl{mpl:03d}.jsonl",
+        )
+
+
+def _point_subscribers(config, algorithm, mpl, timeseries, trace):
+    """Fresh observability subscribers for one point attempt.
+
+    Built per attempt — never reused — so a retried point starts from
+    empty series and a truncated trace file (JsonlSink opens with mode
+    ``"w"``).  Returns ``(sampler, sink, subscribers_tuple)``.
+    """
+    sampler = None
+    sink = None
+    subscribers = []
+    if timeseries is not None:
+        sampler = TimeSeriesSampler(interval=timeseries)
+        subscribers.append(sampler)
+    if trace is not None:
+        sink = JsonlSink(
+            trace.point_path(config.experiment_id, algorithm, mpl),
+            kinds=trace.kinds,
+        )
+        subscribers.append(sink)
+    return sampler, sink, tuple(subscribers)
+
+
+def _point_diagnostics(timeseries, sampler, sink):
+    """The JSON-serializable diagnostics payload of a successful point."""
+    diagnostics = {}
+    if sampler is not None:
+        diagnostics["timeseries"] = {
+            "interval": timeseries,
+            "series": sampler.series(),
+        }
+    if sink is not None:
+        diagnostics["trace"] = {
+            "path": sink.path,
+            "events": sink.events_written,
+        }
+    return diagnostics or None
 
 
 @dataclass
@@ -239,13 +300,17 @@ def _validate_algorithms(algorithms, workers=1):
 
 
 def _execute_point(config, algorithm, mpl, run, deadline, stall_timeout,
-                   retries, progress=None):
+                   retries, progress=None, timeseries=None, trace=None):
     """Run one grid point to a (result, status) pair.
 
     This is the unit of work of both execution modes: the sequential
     loop calls it inline (``progress`` reports per-attempt failures);
     parallel workers call it via :func:`_point_task` with ``progress``
     disabled, since only the parent talks to the user.
+
+    ``timeseries``/``trace`` attach per-point observability subscribers
+    (fresh per attempt); a successful point carries their output in
+    ``result.diagnostics``.
 
     Only supervised failures — watchdog trips and the engine's restart
     livelock detector — are degraded to a failed status; anything else
@@ -256,6 +321,7 @@ def _execute_point(config, algorithm, mpl, run, deadline, stall_timeout,
     result = None
     failure = None
     attempts = 0
+    sampler = sink = None
     for attempt in range(retries + 1):
         attempts += 1
         attempt_run = run if attempt == 0 else run.with_changes(
@@ -265,12 +331,16 @@ def _execute_point(config, algorithm, mpl, run, deadline, stall_timeout,
             _PointWatchdog(deadline, stall_timeout)
             if supervised else None
         )
+        sampler, sink, subscribers = _point_subscribers(
+            config, algorithm, mpl, timeseries, trace
+        )
         try:
             result = run_simulation(
                 config.params_for(mpl),
                 algorithm=algorithm,
                 run=attempt_run,
                 batch_callback=watchdog,
+                subscribers=subscribers,
             )
             break
         except (PointExecutionError, RestartLivelockError) as error:
@@ -284,7 +354,12 @@ def _execute_point(config, algorithm, mpl, run, deadline, stall_timeout,
                     f"mpl={mpl} attempt {attempts} failed "
                     f"({error}); {outcome}"
                 )
+        finally:
+            if sink is not None:
+                sink.close()
     wall = time.perf_counter() - point_started
+    if result is not None:
+        result.diagnostics = _point_diagnostics(timeseries, sampler, sink)
     error_text = (
         f"{type(failure).__name__}: {failure}"
         if failure is not None else None
@@ -307,15 +382,18 @@ def _execute_point(config, algorithm, mpl, run, deadline, stall_timeout,
 
 
 def _point_task(config, algorithm, mpl, run, deadline, stall_timeout,
-                retries):
+                retries, timeseries, trace):
     """Worker-process entry point: one point, no parent-side chatter.
 
     Module-level (picklable) by construction; everything it needs
     travels in its arguments, everything it produces travels back in
-    the (result, status) return value.
+    the (result, status) return value.  Observability subscribers are
+    constructed *inside* the worker (live sinks don't pickle); only the
+    plain-data diagnostics ride back on the result.
     """
     return _execute_point(
         config, algorithm, mpl, run, deadline, stall_timeout, retries,
+        timeseries=timeseries, trace=trace,
     )
 
 
@@ -359,7 +437,7 @@ def _terminate_workers(executor):
 
 
 def _run_parallel(sweep, pending, config, run, deadline, stall_timeout,
-                  retries, workers, progress, ckpt):
+                  retries, workers, progress, ckpt, timeseries, trace):
     """Submit/drain executor for the pending grid points.
 
     The parent is the only process that touches the checkpoint or the
@@ -377,7 +455,7 @@ def _run_parallel(sweep, pending, config, run, deadline, stall_timeout,
         for algorithm, mpl in pending:
             future = executor.submit(
                 _point_task, config, algorithm, mpl, run,
-                deadline, stall_timeout, retries,
+                deadline, stall_timeout, retries, timeseries, trace,
             )
             futures[future] = (algorithm, mpl)
         outstanding = set(futures)
@@ -470,7 +548,8 @@ def _record_point(sweep, key, result, status, ckpt):
 
 def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
               progress=None, deadline=None, stall_timeout=None,
-              retries=0, checkpoint=None, resume=False, workers=1):
+              retries=0, checkpoint=None, resume=False, workers=1,
+              timeseries=None, trace=None):
     """Run every (algorithm, mpl) point of ``config``.
 
     ``mpls``/``algorithms`` restrict the sweep (benchmarks use a subset
@@ -511,6 +590,18 @@ def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
       skipped, so only the missing ones simulate; without ``resume`` an
       existing file is truncated and the sweep starts fresh.
 
+    Observability controls (both off by default; attaching them leaves
+    every point's summary bit-identical — subscribers only observe):
+
+    * ``timeseries`` — sampling interval in simulated seconds; each
+      point runs a :class:`~repro.obs.TimeSeriesSampler` and carries
+      the sampled trajectories in ``result.diagnostics`` (persisted by
+      checkpoints/save_sweep; export with
+      :func:`~repro.experiments.export.write_timeseries_csv`).
+    * ``trace`` — a :class:`PointTrace` (or a directory path, which
+      becomes ``PointTrace(directory)``); each point streams its
+      instrumentation-bus events to one JSONL file in that directory.
+
     Only supervised failures (watchdog trips and the engine's
     zero-delay restart-livelock detector,
     :class:`~repro.core.RestartLivelockError`) are degraded to
@@ -533,6 +624,14 @@ def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
         raise ValueError(f"workers must be >= 0, got {workers}")
     if workers == 0:
         workers = os.cpu_count() or 1
+    if timeseries is not None and timeseries <= 0:
+        raise ValueError(
+            f"timeseries interval must be > 0, got {timeseries}"
+        )
+    if isinstance(trace, str):
+        trace = PointTrace(directory=trace)
+    if trace is not None:
+        os.makedirs(trace.directory, exist_ok=True)
     mpls = tuple(mpls) if mpls is not None else config.mpls
     algorithms = (
         tuple(algorithms) if algorithms is not None else config.algorithms
@@ -567,13 +666,14 @@ def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
     if workers > 1 and len(pending) > 1:
         _run_parallel(
             sweep, pending, config, run, deadline, stall_timeout,
-            retries, workers, progress, ckpt,
+            retries, workers, progress, ckpt, timeseries, trace,
         )
     else:
         for algorithm, mpl in pending:
             result, status = _execute_point(
                 config, algorithm, mpl, run, deadline, stall_timeout,
                 retries, progress=progress,
+                timeseries=timeseries, trace=trace,
             )
             if result is not None and progress is not None:
                 progress(

@@ -6,6 +6,13 @@ It owns dedicated RNG streams (``faults.disk.<i>``, ``faults.cpu``,
 deterministic per seed and — because streams are independent — adding
 fault draws never perturbs the healthy model's random sequences.
 
+Fault occurrences are published on the run's instrumentation bus
+(:mod:`repro.obs`) as ``disk_fail``/``disk_repair``/``cpu_degrade``/
+``cpu_restore``/``access_fault`` events; the injector's own cumulative
+statistics are kept by a :class:`~repro.obs.FaultAccountingSubscriber`
+it attaches, so fault accounting, fault tracing and fault streaming all
+ride the same event stream.
+
 Fault mechanics:
 
 * **Disk crash/repair** — one lifecycle process per disk.  A failure
@@ -28,6 +35,15 @@ Fault mechanics:
 """
 
 from repro.cc.errors import REASON_ACCESS_FAULT, RestartTransaction
+from repro.obs.bus import InstrumentationBus
+from repro.obs.events import (
+    FAULT_ACCESS,
+    FAULT_CPU_DEGRADE,
+    FAULT_CPU_RESTORE,
+    FAULT_DISK_FAIL,
+    FAULT_DISK_REPAIR,
+)
+from repro.obs.subscribers import FaultAccountingSubscriber
 
 #: Priority for repair claims on a disk: above every transaction request
 #: (disk requests use the default priority 0; lower sorts first).
@@ -41,24 +57,20 @@ class FaultInjector:
 
     Construct with a non-null spec, then call :meth:`start` once to
     attach to the physical model and launch the lifecycle processes.
+    ``bus`` is the run's instrumentation bus; standalone use (tests)
+    may omit it, in which case the injector creates a private one.
     """
 
-    def __init__(self, env, spec, physical, streams, trace=None):
+    def __init__(self, env, spec, physical, streams, bus=None):
         self.env = env
         self.spec = spec
         self.physical = physical
         self.streams = streams
-        #: Optional callable ``trace(kind, **fields)`` for event logs.
-        self.trace = trace
+        self.bus = bus if bus is not None else InstrumentationBus(env)
+        #: Cumulative fault statistics, maintained off the event stream.
+        self.accounting = self.bus.attach(FaultAccountingSubscriber())
         #: Current CPU service-demand multiplier (1.0 = healthy).
         self.cpu_factor = 1.0
-        # -- cumulative fault statistics (reported in run totals) --
-        self.disk_failures = 0
-        self.disk_downtime = 0.0
-        self.disks_down = 0
-        self.cpu_degradations = 0
-        self.cpu_degraded_time = 0.0
-        self.access_faults = 0
         self._access_rng = None
         if spec.access is not None and spec.access.prob > 0.0:
             self._access_rng = streams.stream("faults.access")
@@ -78,6 +90,32 @@ class FaultInjector:
             self.env.process(self._cpu_lifecycle())
         return self
 
+    # -- cumulative statistics (delegated to the accounting subscriber) ------
+
+    @property
+    def disk_failures(self):
+        return self.accounting.disk_failures
+
+    @property
+    def disk_downtime(self):
+        return self.accounting.disk_downtime
+
+    @property
+    def disks_down(self):
+        return self.accounting.disks_down
+
+    @property
+    def cpu_degradations(self):
+        return self.accounting.cpu_degradations
+
+    @property
+    def cpu_degraded_time(self):
+        return self.accounting.cpu_degraded_time
+
+    @property
+    def access_faults(self):
+        return self.accounting.access_faults
+
     # -- disk crash/repair ---------------------------------------------------
 
     def _disk_lifecycle(self, index, disk):
@@ -88,17 +126,15 @@ class FaultInjector:
             with disk.request(priority=REPAIR_PRIORITY) as claim:
                 yield claim
                 # Disk is now ours: down for the repair duration.
-                self.disk_failures += 1
-                self.disks_down += 1
                 failed_at = self.env.now
-                self._trace("disk_fail", disk=index)
+                self.bus.emit(FAULT_DISK_FAIL, disk=index)
                 try:
                     yield self.env.timeout(rng.exponential(spec.mttr))
                 finally:
-                    self.disks_down -= 1
-                    self.disk_downtime += self.env.now - failed_at
-                    self._trace("disk_repair", disk=index,
-                                downtime=self.env.now - failed_at)
+                    self.bus.emit(
+                        FAULT_DISK_REPAIR, disk=index,
+                        downtime=self.env.now - failed_at,
+                    )
 
     # -- CPU degradation windows ---------------------------------------------
 
@@ -107,14 +143,14 @@ class FaultInjector:
         rng = self.streams.stream("faults.cpu")
         while True:
             yield self.env.timeout(rng.exponential(spec.mean_interval))
-            self.cpu_degradations += 1
             self.cpu_factor = spec.factor
             degraded_at = self.env.now
-            self._trace("cpu_degrade", factor=spec.factor)
+            self.bus.emit(FAULT_CPU_DEGRADE, factor=spec.factor)
             yield self.env.timeout(rng.exponential(spec.mean_duration))
             self.cpu_factor = 1.0
-            self.cpu_degraded_time += self.env.now - degraded_at
-            self._trace("cpu_restore")
+            self.bus.emit(
+                FAULT_CPU_RESTORE, duration=self.env.now - degraded_at
+            )
 
     # -- transient access faults ---------------------------------------------
 
@@ -128,8 +164,7 @@ class FaultInjector:
         if self._access_rng is None:
             return
         if self._access_rng.bernoulli(self.spec.access.prob):
-            self.access_faults += 1
-            self._trace("access_fault", tx=tx.id, attempt=tx.attempts)
+            self.bus.emit(FAULT_ACCESS, tx=tx.id, attempt=tx.attempts)
             raise RestartTransaction(
                 REASON_ACCESS_FAULT,
                 f"transient fault accessing an object of tx {tx.id}",
@@ -139,15 +174,12 @@ class FaultInjector:
 
     def summary(self):
         """Cumulative fault statistics for the run's totals."""
+        accounting = self.accounting
         return {
             "spec": self.spec.describe(),
-            "disk_failures": self.disk_failures,
-            "disk_downtime": self.disk_downtime,
-            "cpu_degradations": self.cpu_degradations,
-            "cpu_degraded_time": self.cpu_degraded_time,
-            "access_faults": self.access_faults,
+            "disk_failures": accounting.disk_failures,
+            "disk_downtime": accounting.disk_downtime,
+            "cpu_degradations": accounting.cpu_degradations,
+            "cpu_degraded_time": accounting.cpu_degraded_time,
+            "access_faults": accounting.access_faults,
         }
-
-    def _trace(self, kind, **fields):
-        if self.trace is not None:
-            self.trace(kind, **fields)

@@ -1,0 +1,44 @@
+"""repro.obs — the unified instrumentation layer.
+
+One typed event stream (:class:`InstrumentationBus`) carries every
+operational signal out of the engine — transaction lifecycle,
+concurrency-control decisions, resource busy/idle, fault events — and
+pluggable subscribers turn it into metrics, traces, committed-history
+records, fault accounting, time-series samples, and streaming JSONL.
+
+See DESIGN.md §11 for the architecture, the event taxonomy, the
+subscriber protocol, and the overhead guarantees.
+"""
+
+from repro.obs import events
+from repro.obs.bus import InstrumentationBus
+from repro.obs.events import ALL_KINDS, FAULT_KINDS, LIFECYCLE_KINDS, RESOURCE_KINDS
+from repro.obs.jsonl import JsonlSink, read_jsonl
+from repro.obs.subscribers import (
+    FaultAccountingSubscriber,
+    HistorySubscriber,
+    MetricsSubscriber,
+    Subscriber,
+    TraceSubscriber,
+    scalar_fields,
+)
+from repro.obs.timeseries import SAMPLE_FIELDS, TimeSeriesSampler
+
+__all__ = [
+    "InstrumentationBus",
+    "Subscriber",
+    "MetricsSubscriber",
+    "TraceSubscriber",
+    "HistorySubscriber",
+    "FaultAccountingSubscriber",
+    "TimeSeriesSampler",
+    "JsonlSink",
+    "read_jsonl",
+    "scalar_fields",
+    "events",
+    "ALL_KINDS",
+    "LIFECYCLE_KINDS",
+    "FAULT_KINDS",
+    "RESOURCE_KINDS",
+    "SAMPLE_FIELDS",
+]

@@ -1,0 +1,95 @@
+"""The instrumentation event taxonomy.
+
+Every operational signal the engine, physical model, or fault injector
+can report flows through the :class:`~repro.obs.bus.InstrumentationBus`
+as one of these event kinds. The kind strings are **stable**: they
+appear verbatim in trace logs, JSONL event streams, and checkpointed
+diagnostics, so renaming one is a format change.
+
+Transaction lifecycle (the closed model of paper Figures 1-2):
+
+* ``submit`` — first entry into the ready queue (attempt 0);
+* ``resubmit`` — re-entry into the ready queue after a restart;
+* ``admit`` — admitted under the multiprogramming limit, attempt begins;
+* ``block`` — a concurrency-control request made the transaction wait;
+* ``restart`` — the attempt was aborted and will re-run;
+* ``commit_point`` — writes installed; the transaction can no longer
+  abort (deferred-update I/O may still follow);
+* ``commit`` — the attempt completed (kept as ``commit`` — not
+  ``complete`` — for trace-log compatibility).
+
+Concurrency-control decisions: ``block``/``restart`` above record the
+negative decisions; ``cc_grant`` records a granted read/write request
+(high volume — only emitted when someone subscribes to it).
+
+Resources: ``resource_busy``/``resource_idle`` mark a CPU or disk
+server starting and finishing one service period (high volume; only
+emitted when subscribed).
+
+Faults (:mod:`repro.faults`): ``disk_fail``/``disk_repair``,
+``cpu_degrade``/``cpu_restore``, ``access_fault``.
+
+``sample`` carries one row of a
+:class:`~repro.obs.timeseries.TimeSeriesSampler`.
+
+Event *fields* are live model objects where that is cheapest — in
+particular lifecycle events carry the :class:`~repro.core.transaction.
+Transaction` itself under ``tx`` — and subscribers that persist events
+(trace, JSONL) flatten them to scalars via :func:`~repro.obs.
+subscribers.scalar_fields`.
+"""
+
+# -- transaction lifecycle ----------------------------------------------------
+TX_SUBMIT = "submit"
+TX_RESUBMIT = "resubmit"
+TX_ADMIT = "admit"
+TX_BLOCK = "block"
+TX_RESTART = "restart"
+TX_COMMIT_POINT = "commit_point"
+TX_COMPLETE = "commit"
+
+# -- concurrency-control decisions --------------------------------------------
+CC_GRANT = "cc_grant"
+
+# -- physical resources -------------------------------------------------------
+RESOURCE_BUSY = "resource_busy"
+RESOURCE_IDLE = "resource_idle"
+
+# -- fault injection ----------------------------------------------------------
+FAULT_DISK_FAIL = "disk_fail"
+FAULT_DISK_REPAIR = "disk_repair"
+FAULT_CPU_DEGRADE = "cpu_degrade"
+FAULT_CPU_RESTORE = "cpu_restore"
+FAULT_ACCESS = "access_fault"
+
+# -- derived signals ----------------------------------------------------------
+SAMPLE = "sample"
+
+#: The lifecycle kinds, in causal order.
+LIFECYCLE_KINDS = (
+    TX_SUBMIT,
+    TX_RESUBMIT,
+    TX_ADMIT,
+    TX_BLOCK,
+    TX_RESTART,
+    TX_COMMIT_POINT,
+    TX_COMPLETE,
+)
+
+#: Kinds emitted by the fault injector.
+FAULT_KINDS = (
+    FAULT_DISK_FAIL,
+    FAULT_DISK_REPAIR,
+    FAULT_CPU_DEGRADE,
+    FAULT_CPU_RESTORE,
+    FAULT_ACCESS,
+)
+
+#: Kinds emitted by the physical model.
+RESOURCE_KINDS = (RESOURCE_BUSY, RESOURCE_IDLE)
+
+#: Every kind the built-in emitters produce. Subscribers with
+#: ``kinds = None`` are registered for exactly this set.
+ALL_KINDS = frozenset(
+    LIFECYCLE_KINDS + FAULT_KINDS + RESOURCE_KINDS + (CC_GRANT, SAMPLE)
+)

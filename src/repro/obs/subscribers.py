@@ -1,0 +1,280 @@
+"""Built-in bus subscribers: metrics, traces, history, fault accounting.
+
+Each class adapts one pre-existing measurement consumer to the
+:class:`~repro.obs.bus.InstrumentationBus` subscriber protocol, so the
+engine has a single emission path instead of hand-wired collector
+fields. All of them are pure observers: they never mutate model state,
+which is what keeps fixed-seed results bit-identical whatever set of
+subscribers is attached.
+"""
+
+from repro.core.history import CommittedRecord
+from repro.core.transaction import Transaction
+from repro.obs.events import (
+    ALL_KINDS,
+    CC_GRANT,
+    FAULT_ACCESS,
+    FAULT_CPU_DEGRADE,
+    FAULT_CPU_RESTORE,
+    FAULT_DISK_FAIL,
+    FAULT_DISK_REPAIR,
+    FAULT_KINDS,
+    TX_ADMIT,
+    TX_BLOCK,
+    TX_COMMIT_POINT,
+    TX_COMPLETE,
+    TX_RESTART,
+    TX_RESUBMIT,
+    TX_SUBMIT,
+)
+
+
+def scalar_fields(fields):
+    """Flatten event fields to JSON/log-friendly scalars.
+
+    Live :class:`~repro.core.transaction.Transaction` objects collapse
+    to their ids; everything else passes through unchanged.
+    """
+    return {
+        key: value.id if isinstance(value, Transaction) else value
+        for key, value in fields.items()
+    }
+
+
+class Subscriber:
+    """Convenience base: route every subscribed kind to ``on_event``.
+
+    Subclasses either set ``kinds`` (an iterable of event kinds; None
+    means every kind in :data:`~repro.obs.events.ALL_KINDS`) and
+    implement ``on_event(time, kind, fields)``, or override
+    :meth:`handlers` entirely for per-kind dispatch without the extra
+    indirection.
+    """
+
+    kinds = None
+
+    def handlers(self):
+        kinds = ALL_KINDS if self.kinds is None else self.kinds
+        on_event = self.on_event
+        table = {}
+        for kind in kinds:
+            # Bind the kind now so the per-event call carries it.
+            table[kind] = (
+                lambda time, fields, _kind=kind:
+                on_event(time, _kind, fields)
+            )
+        return table
+
+    def on_event(self, time, kind, fields):
+        raise NotImplementedError
+
+
+class MetricsSubscriber:
+    """Feeds a :class:`~repro.core.metrics.MetricsCollector`.
+
+    Translates lifecycle events into the collector's recording hooks
+    and maintains its ready/active :class:`~repro.des.LevelMonitor`
+    mirrors of the engine's admission state. This is the default (and
+    usually only) subscriber; the dispatch path through it is the
+    engine's measurement fast path.
+    """
+
+    def __init__(self, metrics):
+        self.metrics = metrics
+
+    def handlers(self):
+        metrics = self.metrics
+        ready = metrics.ready_queue_level
+        active = metrics.active_level
+
+        def enqueue(time, fields):
+            ready.add(1)
+
+        def admit(time, fields):
+            ready.add(-1)
+            active.add(1)
+
+        def block(time, fields):
+            metrics.record_block(fields["tx"])
+
+        def restart(time, fields):
+            metrics.record_restart(fields["tx"], fields["reason"])
+            active.add(-1)
+
+        def commit(time, fields):
+            metrics.record_commit(fields["tx"])
+            active.add(-1)
+
+        return {
+            TX_SUBMIT: enqueue,
+            TX_RESUBMIT: enqueue,
+            TX_ADMIT: admit,
+            TX_BLOCK: block,
+            TX_RESTART: restart,
+            TX_COMPLETE: commit,
+        }
+
+
+class TraceSubscriber:
+    """Feeds a :class:`~repro.des.TraceRecorder`.
+
+    Formats each event into the recorder's legacy flat-scalar field
+    layout (``tx`` is the transaction id, not the object), so traces
+    captured through the bus are record-for-record identical to the
+    ones the engine used to write by hand. Kinds without a dedicated
+    formatter pass through :func:`scalar_fields`.
+
+    Honors the recorder's source-side ``kinds`` filter by subscribing
+    only to those kinds, so filtered-out high-volume events are never
+    even emitted.
+    """
+
+    def __init__(self, recorder):
+        self.recorder = recorder
+
+    def handlers(self):
+        record = self.recorder.record
+
+        def submit(time, fields):
+            tx = fields["tx"]
+            record(
+                time, TX_SUBMIT, tx=tx.id, terminal=tx.terminal_id,
+                reads=len(tx.read_set), writes=len(tx.write_set),
+            )
+
+        def resubmit(time, fields):
+            tx = fields["tx"]
+            record(time, TX_RESUBMIT, tx=tx.id, attempt=tx.attempts)
+
+        def admit(time, fields):
+            tx = fields["tx"]
+            record(time, TX_ADMIT, tx=tx.id, attempt=tx.attempts)
+
+        def block(time, fields):
+            tx = fields["tx"]
+            record(time, TX_BLOCK, tx=tx.id, attempt=tx.attempts)
+
+        def restart(time, fields):
+            tx = fields["tx"]
+            record(
+                time, TX_RESTART, tx=tx.id, attempt=tx.attempts,
+                reason=fields["reason"],
+            )
+
+        def commit(time, fields):
+            tx = fields["tx"]
+            record(
+                time, TX_COMPLETE, tx=tx.id, attempt=tx.attempts,
+                response=tx.response_time(),
+            )
+
+        def commit_point(time, fields):
+            tx = fields["tx"]
+            record(
+                time, TX_COMMIT_POINT, tx=tx.id, attempt=tx.attempts,
+                writes=len(tx.install_write_set),
+            )
+
+        def cc_grant(time, fields):
+            tx = fields["tx"]
+            record(
+                time, CC_GRANT, tx=tx.id, obj=fields["obj"],
+                op=fields["op"],
+            )
+
+        formatters = {
+            TX_SUBMIT: submit,
+            TX_RESUBMIT: resubmit,
+            TX_ADMIT: admit,
+            TX_BLOCK: block,
+            TX_RESTART: restart,
+            TX_COMPLETE: commit,
+            TX_COMMIT_POINT: commit_point,
+            CC_GRANT: cc_grant,
+        }
+
+        def passthrough(kind):
+            def handler(time, fields):
+                flat = scalar_fields(fields)
+                # Some events (e.g. ``sample``) carry their own "time"
+                # field; the dispatch timestamp is authoritative.
+                flat.pop("time", None)
+                record(time, kind, **flat)
+            return handler
+
+        kinds = (
+            ALL_KINDS if self.recorder.kinds is None
+            else self.recorder.kinds
+        )
+        return {
+            kind: formatters.get(kind) or passthrough(kind)
+            for kind in kinds
+        }
+
+
+class HistorySubscriber:
+    """Collects a :class:`~repro.core.history.CommittedRecord` per
+    commit point — the engine's ``record_history`` path as a
+    subscriber. Recording at the commit point (not completion) keeps
+    the history and the object store consistent under any run cutoff.
+    """
+
+    def __init__(self):
+        self.records = []
+
+    def handlers(self):
+        records = self.records
+
+        def commit_point(time, fields):
+            records.append(
+                CommittedRecord(fields["tx"], commit_point_time=time)
+            )
+
+        return {TX_COMMIT_POINT: commit_point}
+
+
+class FaultAccountingSubscriber:
+    """Accumulates the cumulative fault statistics of one run.
+
+    The :class:`~repro.faults.FaultInjector` emits fault events; this
+    subscriber (attached by the injector itself) turns them into the
+    counters its ``summary()`` reports, so fault accounting rides the
+    same event stream as every other signal.
+    """
+
+    kinds = FAULT_KINDS
+
+    def __init__(self):
+        self.disk_failures = 0
+        self.disk_downtime = 0.0
+        #: Disks currently under repair (a gauge, not a counter).
+        self.disks_down = 0
+        self.cpu_degradations = 0
+        self.cpu_degraded_time = 0.0
+        self.access_faults = 0
+
+    def handlers(self):
+        def disk_fail(time, fields):
+            self.disk_failures += 1
+            self.disks_down += 1
+
+        def disk_repair(time, fields):
+            self.disks_down -= 1
+            self.disk_downtime += fields["downtime"]
+
+        def cpu_degrade(time, fields):
+            self.cpu_degradations += 1
+
+        def cpu_restore(time, fields):
+            self.cpu_degraded_time += fields["duration"]
+
+        def access_fault(time, fields):
+            self.access_faults += 1
+
+        return {
+            FAULT_DISK_FAIL: disk_fail,
+            FAULT_DISK_REPAIR: disk_repair,
+            FAULT_CPU_DEGRADE: cpu_degrade,
+            FAULT_CPU_RESTORE: cpu_restore,
+            FAULT_ACCESS: access_fault,
+        }

@@ -1,9 +1,7 @@
 """Unit tests for the serial-replay serializability checker."""
 
-import pytest
 
 from repro.analysis import (
-    HistoryViolation,
     check_serializability,
     conflict_graph,
 )

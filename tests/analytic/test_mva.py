@@ -1,7 +1,5 @@
 """Tests for the exact MVA solver against closed-form results."""
 
-import math
-
 import pytest
 
 from repro.analytic import (

@@ -7,7 +7,6 @@ from repro.cc.blocking import (
     DETECT_ON_BLOCK,
     DETECT_PERIODIC,
     BlockingCC,
-    VICTIM_YOUNGEST,
 )
 from repro.core import SimulationParameters, SystemModel
 from repro.des import Environment

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cc import LockMode, StaticLockingCC
-from repro.cc.blocking import BlockingCC
 from repro.des import Environment
 
 

@@ -1,7 +1,6 @@
 """Tests for waits-for graph construction and cycle detection."""
 
 import networkx as nx
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

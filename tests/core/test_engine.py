@@ -6,7 +6,6 @@ from repro.core import (
     RunConfig,
     SimulationParameters,
     SystemModel,
-    TxState,
     run_simulation,
 )
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import RunningAverage, SimulationParameters, SystemModel
+from repro.core import RunningAverage, SimulationParameters
 from repro.core.metrics import MetricsCollector
 from repro.core.physical import PhysicalModel
 from repro.core.transaction import Transaction

@@ -6,7 +6,6 @@ model's conservation laws and accounting invariants regardless of the
 draw. These catch cross-cutting bugs no targeted unit test anticipates.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -171,7 +171,8 @@ class TestQueueing:
             yield from physical.disk_service(t, 0.020)
             total += t.attempt_disk_time
 
-        procs = [env.process(proc(env)) for _ in range(40)]
+        for _ in range(40):
+            env.process(proc(env))
         env.run()
         assert total == pytest.approx(40 * 0.020)
         # Two disks at 100%: 40 services of 20 ms over 2 disks -> >= 400 ms
@@ -188,8 +189,8 @@ class TestOutcomeAccounting:
             yield from physical.cpu_service(t, 0.010)
             yield from physical.disk_service(t, 0.030)
 
-        p1 = env.process(proc(env, winner))
-        p2 = env.process(proc(env, loser))
+        env.process(proc(env, winner))
+        env.process(proc(env, loser))
         env.run()
         physical.charge_attempt(winner, useful=True)
         physical.charge_attempt(loser, useful=False)

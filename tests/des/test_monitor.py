@@ -15,6 +15,20 @@ class TestCounter:
         c.increment(2)
         assert c.delta_since(snap) == 2
 
+    def test_delta_across_successive_snapshots(self):
+        # The batch-means idiom: snapshot the total at each batch
+        # boundary; deltas against successive snapshots partition the
+        # cumulative count.
+        c = Counter("commits")
+        start = c.total
+        c.increment(3)
+        boundary = c.total
+        assert c.delta_since(start) == 3
+        c.increment(7)
+        assert c.delta_since(boundary) == 7
+        assert c.delta_since(start) == 10
+        assert c.delta_since(c.total) == 0
+
 
 class TestTally:
     def test_is_welford_with_name(self):
@@ -23,6 +37,48 @@ class TestTally:
         t.add(4.0)
         assert t.name == "response_time"
         assert t.mean == pytest.approx(3.0)
+
+    def test_snapshot_is_independent_copy(self):
+        t = Tally("response_time")
+        for x in (1.0, 2.0, 3.0):
+            t.add(x)
+        snap = t.snapshot()
+        t.add(100.0)
+        # The snapshot must be frozen at the moment it was taken.
+        assert snap.count == 3
+        assert snap.mean == pytest.approx(2.0)
+        assert t.count == 4
+
+    def test_delta_since_recovers_batch_statistics(self):
+        t = Tally("response_time")
+        warmup = (5.0, 7.0, 9.0)
+        batch = (1.0, 2.0, 3.0, 4.0)
+        for x in warmup:
+            t.add(x)
+        snap = t.snapshot()
+        for x in batch:
+            t.add(x)
+        delta = t.delta_since(snap)
+        assert delta.count == len(batch)
+        assert delta.mean == pytest.approx(2.5)
+        # Sample variance of 1..4 is 5/3.
+        assert delta.variance == pytest.approx(5.0 / 3.0)
+
+    def test_delta_since_empty_window(self):
+        t = Tally("x")
+        t.add(1.0)
+        snap = t.snapshot()
+        delta = t.delta_since(snap)
+        assert delta.count == 0
+        assert delta.mean == 0.0
+
+    def test_delta_since_rejects_newer_snapshot(self):
+        t = Tally("x")
+        t.add(1.0)
+        snap = t.snapshot()
+        snap.add(2.0)  # snapshot now "ahead" of the accumulator
+        with pytest.raises(ValueError):
+            t.delta_since(snap)
 
 
 class TestLevelMonitor:
@@ -60,6 +116,40 @@ class TestLevelMonitor:
         area = level.area()
         env.run(until=6.0)
         assert level.window_average(area, 2.0) == pytest.approx(4.0)
+
+    def test_window_average_isolates_batches(self):
+        # Three batches of 2s each with the level changing mid-run:
+        # window deltas must recover each batch's own time average,
+        # unpolluted by earlier batches.
+        env = Environment()
+        level = LevelMonitor(env, "q", initial=0.0)
+
+        def proc(env):
+            level.set(2.0)
+            yield env.timeout(2.0)   # batch 1: 2.0 throughout
+            level.set(6.0)
+            yield env.timeout(1.0)
+            level.set(10.0)
+            yield env.timeout(1.0)   # batch 2: 6 for 1s, 10 for 1s
+            yield env.timeout(2.0)   # batch 3: 10 throughout
+
+        env.process(proc(env))
+        averages = []
+        for boundary in (2.0, 4.0, 6.0):
+            start = env.now
+            area = level.area()
+            env.run(until=boundary)
+            averages.append(level.window_average(area, start))
+        assert averages == [
+            pytest.approx(2.0), pytest.approx(8.0), pytest.approx(10.0)
+        ]
+
+    def test_window_average_empty_window_is_zero(self):
+        env = Environment()
+        level = LevelMonitor(env, "q", initial=3.0)
+        # Zero-length window: no area has accrued; the average must not
+        # divide by zero (it reports 0.0 by convention).
+        assert level.window_average(level.area(), env.now) == 0.0
 
 
 class TestBusyTracker:

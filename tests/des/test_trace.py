@@ -72,6 +72,53 @@ class TestTraceRecorder:
         assert "submit" in tracer.render()
 
 
+class TestRingBufferEviction:
+    """Interplay between the bounded ring and counts/query."""
+
+    @pytest.fixture
+    def evicting(self):
+        tracer = TraceRecorder(capacity=5)
+        for i in range(12):
+            kind = "commit" if i % 2 == 0 else "block"
+            tracer.record(float(i), kind, tx=i % 3, n=i)
+        return tracer
+
+    def test_counts_include_evicted_records(self, evicting):
+        # counts tallies everything ever recorded, not just what the
+        # ring still holds.
+        assert evicting.counts == {"commit": 6, "block": 6}
+        assert evicting.dropped == 7
+        assert len(evicting) == 5
+
+    def test_query_sees_only_retained_window(self, evicting):
+        retained = [record.n for record in evicting]
+        assert retained == list(range(7, 12))
+        assert [r.n for r in evicting.query(kind="commit")] == [8, 10]
+
+    def test_query_field_filters_after_eviction(self, evicting):
+        # tx cycles 0,1,2; of the retained n=7..11 only n=7 and n=10
+        # have tx == 1.
+        assert [r.n for r in evicting.query(tx=1)] == [7, 10]
+
+    def test_query_time_bounds_are_inclusive(self, evicting):
+        assert [r.n for r in evicting.query(since=9.0, until=10.0)] == [9, 10]
+        assert list(evicting.query(since=12.5)) == []
+        # Everything before the retained window was evicted.
+        assert list(evicting.query(until=6.0)) == []
+
+    def test_eviction_preserves_timeline_order(self, evicting):
+        times = [record.time for record in evicting]
+        assert times == sorted(times)
+
+    def test_capacity_one_keeps_latest(self):
+        tracer = TraceRecorder(capacity=1)
+        for i in range(4):
+            tracer.record(float(i), "tick", n=i)
+        assert [r.n for r in tracer] == [3]
+        assert tracer.dropped == 3
+        assert tracer.counts == {"tick": 4}
+
+
 class TestEngineIntegration:
     @pytest.fixture
     def traced_model(self):

@@ -102,7 +102,127 @@ class TestMain:
         assert any(row["metric"] == "throughput" for row in rows)
 
 
-class TestWorkersFlag:
+class TestObservabilityFlags:
+    def test_defaults_are_off(self):
+        args = build_parser().parse_args(["--all"])
+        assert args.trace is False
+        assert args.trace_out is None
+        assert args.trace_kinds is None
+        assert args.timeseries is None
+        assert args.timeseries_csv is None
+
+    def test_flags_parsed(self):
+        args = build_parser().parse_args([
+            "--all", "--trace", "--trace-out", "tr",
+            "--trace-kinds", "submit,commit",
+            "--timeseries", "2.5", "--timeseries-csv", "ts.csv",
+        ])
+        assert args.trace is True
+        assert args.trace_out == "tr"
+        assert args.trace_kinds == "submit,commit"
+        assert args.timeseries == 2.5
+        assert args.timeseries_csv == "ts.csv"
+
+    def test_trace_option_builds_point_trace(self):
+        from repro.experiments.cli import _trace_option
+
+        args = build_parser().parse_args([
+            "--all", "--trace", "--trace-out", "tr",
+            "--trace-kinds", "submit, commit ,",
+        ])
+        trace = _trace_option(args)
+        assert trace.directory == "tr"
+        assert trace.kinds == ("submit", "commit")
+        # Without --trace there is no trace option at all.
+        assert _trace_option(build_parser().parse_args(["--all"])) is None
+
+    def test_trace_out_requires_trace(self):
+        with pytest.raises(SystemExit):
+            main(["--all", "--trace-out", "tr"])
+
+    def test_trace_kinds_requires_trace(self):
+        with pytest.raises(SystemExit):
+            main(["--all", "--trace-kinds", "commit"])
+
+    def test_nonpositive_timeseries_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--all", "--timeseries", "0"])
+
+    def test_timeseries_csv_requires_timeseries(self):
+        with pytest.raises(SystemExit):
+            main(["--all", "--timeseries-csv", "ts.csv"])
+
+    def test_single_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--single", "no_such_algorithm"])
+
+    def test_single_excludes_experiment_selection(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--single", "blocking", "--all"])
+
+
+class TestSingleRun:
+    def test_single_run_with_observability(self, capsys, tmp_path):
+        import csv
+
+        trace_dir = tmp_path / "traces"
+        ts_csv = tmp_path / "ts.csv"
+        code = main([
+            "--single", "blocking", "--mpl", "5",
+            "--batches", "1", "--batch-time", "3", "--warmup-batches", "0",
+            "--trace", "--trace-out", str(trace_dir),
+            "--trace-kinds", "submit,restart,commit",
+            "--timeseries", "1", "--timeseries-csv", str(ts_csv),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "blocking" in captured.out
+        assert "whole run: commits=" in captured.out
+        assert "[trace:" in captured.err
+        assert "[timeseries:" in captured.err
+
+        trace_path = trace_dir / "single.blocking.mpl005.jsonl"
+        assert trace_path.exists()
+        from repro.obs import read_jsonl
+
+        events = read_jsonl(str(trace_path))
+        assert events
+        assert {e["kind"] for e in events} <= {"submit", "restart", "commit"}
+
+        rows = list(csv.DictReader(ts_csv.open()))
+        assert rows
+        assert rows[0]["time"] == "0.0"
+        assert "active" in rows[0] and "commits" in rows[0]
+
+
+class TestFigureObservability:
+    def test_figure_run_writes_traces_and_timeseries(self, capsys, tmp_path):
+        import csv
+
+        trace_dir = tmp_path / "traces"
+        ts_csv = tmp_path / "ts.csv"
+        code = main([
+            "--figure", "8",
+            "--batches", "1", "--batch-time", "3", "--warmup-batches", "0",
+            "--mpl", "5",
+            "--algorithm", "blocking",
+            "--no-plots",
+            "--trace", "--trace-out", str(trace_dir),
+            "--timeseries", "1", "--timeseries-csv", str(ts_csv),
+        ])
+        assert code == 0
+        traces = sorted(p.name for p in trace_dir.iterdir())
+        assert traces == ["exp3_finite.blocking.mpl005.jsonl"]
+
+        rows = list(csv.DictReader(ts_csv.open()))
+        assert rows
+        assert rows[0]["experiment"] == "exp3_finite"
+        assert rows[0]["algorithm"] == "blocking"
+        assert rows[0]["mpl"] == "5"
+
+        # The conflict-ratio diagnostics table rides along in every
+        # sweep report.
+        assert "blocks/commit" in capsys.readouterr().out
     def test_default_is_sequential(self):
         args = build_parser().parse_args(["--all"])
         assert args.workers == 1

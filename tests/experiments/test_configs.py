@@ -1,7 +1,5 @@
 """Tests for experiment presets and the figure index."""
 
-import pytest
-
 from repro.cc import PAPER_ALGORITHMS
 from repro.core import PAPER_MPLS
 from repro.experiments import FIGURE_INDEX, experiment_configs

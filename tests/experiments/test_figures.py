@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import RunConfig
-from repro.experiments import FIGURE_INDEX, FigureBuilder
+from repro.experiments import FigureBuilder
 from repro.experiments import figures as figures_module
 
 TINY_RUN = RunConfig(batches=2, batch_time=5.0, warmup_batches=0, seed=17)

@@ -1,0 +1,1 @@
+"""Tests of repro.obs: the unified instrumentation bus and subscribers."""

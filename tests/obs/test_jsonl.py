@@ -1,0 +1,88 @@
+"""Tests for the JsonlSink subscriber and read_jsonl loader."""
+
+import io
+import json
+
+from repro.core import SystemModel
+from repro.des import Environment
+from repro.obs import InstrumentationBus, JsonlSink, read_jsonl
+
+from tests.obs.test_subscribers import small_params
+
+
+class TestRoundTrip:
+    def test_model_run_round_trips_through_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path), kinds=("submit", "commit", "restart"))
+        try:
+            model = SystemModel(small_params(), "blocking", seed=5,
+                                subscribers=(sink,))
+            model.run_until(10.0)
+        finally:
+            sink.close()
+
+        events = read_jsonl(str(path))
+        assert len(events) == sink.events_written > 0
+        assert {e["kind"] for e in events} <= {"submit", "commit", "restart"}
+        commits = [e for e in events if e["kind"] == "commit"]
+        assert len(commits) == model.metrics.commits.total
+        for e in events:
+            # Transactions must be flattened to plain ids.
+            assert isinstance(e["tx"], int)
+            assert isinstance(e["time"], float)
+        times = [e["time"] for e in events]
+        assert times == sorted(times)
+
+    def test_kinds_none_subscribes_everything(self, tmp_path):
+        path = tmp_path / "all.jsonl"
+        with JsonlSink(str(path)) as sink:
+            model = SystemModel(small_params(), "blocking", seed=5,
+                                subscribers=(sink,))
+            model.run_until(2.0)
+        kinds = {e["kind"] for e in read_jsonl(str(path))}
+        # Unrestricted sinks turn the optional fast-path kinds on.
+        assert "cc_grant" in kinds
+        assert "resource_busy" in kinds
+        assert "commit_point" in kinds
+
+
+class TestDestinations:
+    def test_path_destination_is_owned_and_closed(self, tmp_path):
+        path = tmp_path / "owned.jsonl"
+        with JsonlSink(str(path)) as sink:
+            assert sink.path == str(path)
+            sink.on_event(1.0, "commit", {"tx": 1})
+        # close() ran via __exit__; the file handle must be closed.
+        assert sink._file.closed
+        assert read_jsonl(str(path)) == [
+            {"time": 1.0, "kind": "commit", "tx": 1}
+        ]
+
+    def test_file_like_destination_is_not_closed(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer, kinds=("commit",))
+        sink.on_event(2.0, "commit", {"tx": 7})
+        sink.close()
+        assert not buffer.closed
+        assert json.loads(buffer.getvalue()) == {
+            "time": 2.0, "kind": "commit", "tx": 7,
+        }
+
+    def test_non_json_values_fall_back_to_repr(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        sink.on_event(0.0, "custom", {"payload": {1, 2}})
+        record = json.loads(buffer.getvalue())
+        assert record["payload"] == repr({1, 2})
+
+
+class TestEventCounting:
+    def test_events_written_tracks_dispatch(self):
+        env = Environment()
+        bus = InstrumentationBus(env)
+        buffer = io.StringIO()
+        sink = bus.attach(JsonlSink(buffer, kinds=("commit",)))
+        bus.emit("commit", tx=1)
+        bus.emit("restart", tx=2, reason="deadlock")  # filtered out
+        bus.emit("commit", tx=3)
+        assert sink.events_written == 2

@@ -1,0 +1,147 @@
+"""Tests for the built-in bus subscribers."""
+
+import pytest
+
+from repro.core import SimulationParameters, SystemModel
+from repro.core.history import CommittedRecord
+from repro.core.transaction import Transaction
+from repro.des import Environment, TraceRecorder
+from repro.obs import FaultAccountingSubscriber, InstrumentationBus, scalar_fields
+
+
+def small_params(**overrides):
+    defaults = dict(
+        db_size=60, min_size=2, max_size=6, write_prob=0.5,
+        num_terms=10, mpl=8, ext_think_time=0.2,
+        obj_io=0.01, obj_cpu=0.005, num_cpus=None, num_disks=None,
+    )
+    defaults.update(overrides)
+    return SimulationParameters(**defaults)
+
+
+class TestScalarFields:
+    def test_transactions_collapse_to_ids(self):
+        tx = Transaction(7, 0, read_set=(1, 2), write_set=(2,))
+        flat = scalar_fields({"tx": tx, "reason": "deadlock", "n": 3})
+        assert flat == {"tx": 7, "reason": "deadlock", "n": 3}
+
+    def test_plain_fields_pass_through_unchanged(self):
+        assert scalar_fields({"a": 1.5, "b": None}) == {"a": 1.5, "b": None}
+
+
+class TestMetricsSubscriber:
+    """The engine attaches this by default; its output *is* the
+    MetricsCollector the rest of the system reads, so the strongest
+    check is cross-consistency on a real run."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        model = SystemModel(small_params(), "blocking", seed=9)
+        model.run_until(20.0)
+        return model
+
+    def test_levels_reflect_admission_state(self, model):
+        assert model.metrics.active_level.value == model.active_count
+        assert model.metrics.ready_queue_level.value == len(
+            model.ready_queue
+        )
+
+    def test_counters_are_populated(self, model):
+        assert model.metrics.commits.total > 0
+        assert model.metrics.blocks.total > 0
+
+
+class TestTraceSubscriber:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        tracer = TraceRecorder()
+        model = SystemModel(small_params(), "blocking", seed=9,
+                            tracer=tracer)
+        model.run_until(20.0)
+        return model, tracer
+
+    def test_legacy_field_layouts(self, traced):
+        model, tracer = traced
+        submit = next(iter(tracer.query(kind="submit")))
+        assert isinstance(submit.tx, int)
+        assert set(submit.fields) == {"tx", "terminal", "reads", "writes"}
+        commit = next(iter(tracer.query(kind="commit")))
+        assert set(commit.fields) == {"tx", "attempt", "response"}
+        assert commit.response > 0.0
+
+    def test_counts_match_metrics(self, traced):
+        model, tracer = traced
+        assert tracer.counts["commit"] == model.metrics.commits.total
+        assert tracer.counts["block"] == model.metrics.blocks.total
+
+    def test_unfiltered_tracer_sees_optional_kinds(self, traced):
+        # With a tracer subscribed to every kind, the engine's guarded
+        # emissions (commit points, CC grants, resource busy/idle) must
+        # actually fire.
+        model, tracer = traced
+        assert tracer.counts["commit_point"] == model.metrics.commits.total
+        assert tracer.counts["cc_grant"] > 0
+        assert tracer.counts["resource_busy"] > 0
+        # Holds still in progress at the horizon have emitted busy but
+        # not yet idle; each active transaction holds at most one
+        # resource at a time, so the gap is bounded by the MPL.
+        in_flight = (
+            tracer.counts["resource_busy"] - tracer.counts["resource_idle"]
+        )
+        assert 0 <= in_flight <= model.params.mpl
+
+    def test_recorder_kind_filter_suppresses_emission(self):
+        tracer = TraceRecorder(kinds={"restart", "commit"})
+        model = SystemModel(small_params(), "blocking", seed=9,
+                            tracer=tracer)
+        model.run_until(10.0)
+        assert set(tracer.counts) <= {"restart", "commit"}
+        # The source filter must also keep the optional fast-path
+        # emissions off entirely.
+        assert not model.bus.wants_commit_point
+        assert not model.bus.wants_resource
+        assert not model.bus.wants_cc
+
+
+class TestHistorySubscriber:
+    def test_committed_history_records_commit_points(self):
+        model = SystemModel(small_params(), "blocking", seed=9,
+                            record_history=True)
+        model.run_until(15.0)
+        history = model.committed_history
+        assert history
+        assert all(isinstance(r, CommittedRecord) for r in history)
+        # Commit points are recorded in commit order.
+        times = [r.commit_time for r in history]
+        assert times == sorted(times)
+        assert len(history) >= model.metrics.commits.total
+
+    def test_without_record_history_property_is_none(self):
+        model = SystemModel(small_params(), "blocking", seed=9)
+        assert model.committed_history is None
+
+
+class TestFaultAccountingSubscriber:
+    def test_accumulates_from_events(self):
+        bus = InstrumentationBus(Environment())
+        accounting = bus.attach(FaultAccountingSubscriber())
+        bus.emit("disk_fail", disk=0)
+        assert accounting.disk_failures == 1
+        assert accounting.disks_down == 1
+        bus.emit("disk_repair", disk=0, downtime=2.5)
+        assert accounting.disks_down == 0
+        assert accounting.disk_downtime == pytest.approx(2.5)
+        bus.emit("cpu_degrade", factor=2.0)
+        bus.emit("cpu_restore", duration=1.5)
+        assert accounting.cpu_degradations == 1
+        assert accounting.cpu_degraded_time == pytest.approx(1.5)
+        bus.emit("access_fault", tx=3, attempt=1)
+        assert accounting.access_faults == 1
+
+    def test_ignores_non_fault_kinds(self):
+        bus = InstrumentationBus(Environment())
+        accounting = bus.attach(FaultAccountingSubscriber())
+        bus.emit("commit", tx=1)
+        bus.emit("submit", tx=2)
+        assert accounting.disk_failures == 0
+        assert accounting.access_faults == 0
