@@ -124,7 +124,9 @@ def test_full_model_bus_fast_path(benchmark):
     (commit points, CC grants, resource busy/idle) must be skipped
     before their fields are built.  ``BENCH_engine.json`` at the repo
     root pins a reference baseline; CI uploads each run's numbers as an
-    artifact for cross-commit comparison.
+    artifact for cross-commit comparison, and
+    ``check_bench_regression.py`` fails the build if this benchmark
+    regresses more than 10% against the baseline.
     """
     from repro.core import SystemModel
 

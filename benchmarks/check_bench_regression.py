@@ -1,0 +1,122 @@
+"""Compare a pytest-benchmark JSON against the checked-in baseline.
+
+CI runs ``bench_engine_micro.py`` into ``bench_engine_ci.json`` and then
+calls this script, which diffs every benchmark against
+``BENCH_engine.json`` at the repository root and **fails** when the
+gated end-to-end benchmark (``test_full_model_bus_fast_path``) is more
+than ``--threshold`` slower than the baseline. The other
+microbenchmarks are reported but only warn: they measure narrow slices
+whose variance on shared CI runners would make a hard gate flaky,
+while the full-model run averages over enough work to be stable.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py bench_engine_ci.json \
+        [--baseline BENCH_engine.json] [--threshold 0.10]
+
+Exit status: 0 = within threshold, 1 = gated regression, 2 = bad input
+(missing file, missing benchmark).
+"""
+
+import argparse
+import json
+import sys
+
+#: The benchmark whose regression fails the build. The rest warn only.
+GATED_BENCHMARK = "test_full_model_bus_fast_path"
+
+#: Default: fail on a >10% slowdown of the gated benchmark.
+DEFAULT_THRESHOLD = 0.10
+
+
+def load_means(path):
+    """Mapping benchmark name -> mean seconds from a pytest-benchmark JSON."""
+    with open(path) as f:
+        data = json.load(f)
+    return {
+        bench["name"]: bench["stats"]["mean"]
+        for bench in data["benchmarks"]
+    }
+
+
+def compare(current, baseline, gated=GATED_BENCHMARK,
+            threshold=DEFAULT_THRESHOLD):
+    """Diff two name->mean mappings.
+
+    Returns ``(failures, report_lines)`` where ``failures`` is the list
+    of gated benchmarks over threshold (empty = pass). Benchmarks
+    present on only one side are reported but never fail the gate.
+    """
+    failures = []
+    lines = []
+    for name in sorted(set(current) | set(baseline)):
+        if name not in current:
+            lines.append(f"  {name}: missing from current run")
+            continue
+        if name not in baseline:
+            lines.append(f"  {name}: new benchmark (no baseline)")
+            continue
+        before, after = baseline[name], current[name]
+        change = (after - before) / before
+        marker = ""
+        if name == gated:
+            marker = " [gated]"
+            if change > threshold:
+                marker = " [gated: FAIL]"
+                failures.append(name)
+        lines.append(
+            f"  {name}: {before:.6f}s -> {after:.6f}s "
+            f"({change:+.1%}){marker}"
+        )
+    return failures, lines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Gate CI on engine microbenchmark regressions."
+    )
+    parser.add_argument(
+        "current", help="pytest-benchmark JSON from this run"
+    )
+    parser.add_argument(
+        "--baseline", default="BENCH_engine.json",
+        help="pinned reference JSON (default: BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="fractional slowdown that fails the gated benchmark "
+             "(default: 0.10)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        current = load_means(args.current)
+        baseline = load_means(args.baseline)
+    except (OSError, KeyError, ValueError) as error:
+        print(f"bench-gate: cannot load benchmark data: {error}",
+              file=sys.stderr)
+        return 2
+    if GATED_BENCHMARK not in current:
+        print(
+            f"bench-gate: gated benchmark {GATED_BENCHMARK!r} missing "
+            f"from {args.current}", file=sys.stderr,
+        )
+        return 2
+    failures, lines = compare(
+        current, baseline, threshold=args.threshold
+    )
+    print(f"bench-gate: current={args.current} baseline={args.baseline} "
+          f"threshold={args.threshold:.0%}")
+    print("\n".join(lines))
+    if failures:
+        print(
+            f"bench-gate: FAIL — {', '.join(failures)} regressed more "
+            f"than {args.threshold:.0%} vs the pinned baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench-gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

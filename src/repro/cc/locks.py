@@ -195,7 +195,16 @@ class LockManager:
             return set(lock.holders) == {tx}
         if lock.queue:
             return False  # no overtaking queued waiters
-        return all(compatible(mode, held) for held in lock.holders.values())
+        # Open-coded compatibility: EXCLUSIVE conflicts with any holder,
+        # SHARED only with an EXCLUSIVE holder. Equivalent to
+        # ``all(compatible(mode, held) ...)`` without a call per holder
+        # on the grant fast path.
+        holders = lock.holders
+        if not holders:
+            return True
+        if mode is LockMode.EXCLUSIVE:
+            return False
+        return LockMode.EXCLUSIVE not in holders.values()
 
     @staticmethod
     def _enqueue_upgrade(lock, request):
@@ -245,11 +254,10 @@ class LockManager:
         """
         touched = []
         for obj, lock in self._locks.items():
-            changed = False
-            if lock.holders.pop(tx, None) is not None:
-                changed = True
-            if any(r.tx is tx for r in lock.queue):
-                lock.queue = deque(r for r in lock.queue if r.tx is not tx)
+            changed = lock.holders.pop(tx, None) is not None
+            queue = lock.queue
+            if queue and any(r.tx is tx for r in queue):
+                lock.queue = deque(r for r in queue if r.tx is not tx)
                 changed = True
             if changed:
                 touched.append(obj)

@@ -19,17 +19,36 @@ def build_waits_for(lock_manager):
     return graph
 
 
+def _by_id(tx):
+    return tx.id
+
+
+def _successors(graph, node):
+    """Successors of ``node`` in ascending transaction-id order.
+
+    The adjacency values are sets of transactions, whose iteration
+    order depends on identity hashes — i.e. on memory layout, which
+    varies across processes. The DFS must visit successors in a stable
+    order or the cycle it finds (and hence the deadlock victim chosen
+    from it) would differ from run to run whenever the graph holds
+    more than one cycle through the requester.
+    """
+    return iter(sorted(graph.get(node, ()), key=_by_id))
+
+
 def find_cycle_containing(graph, start):
     """A cycle through ``start`` as a list of transactions, or None.
 
     Iterative DFS over the waits-for edges; returns the cycle path
     ``[start, t1, ..., tk]`` such that ``tk`` waits for ``start``.
+    The DFS visits successors in transaction-id order, so the returned
+    cycle is a deterministic function of the graph alone.
     """
     if start not in graph:
         return None
     path = [start]
     on_path = {start}
-    iterators = [iter(graph.get(start, ()))]
+    iterators = [_successors(graph, start)]
     visited = set()
     while iterators:
         found_next = False
@@ -41,7 +60,7 @@ def find_cycle_containing(graph, start):
             if successor in graph:
                 path.append(successor)
                 on_path.add(successor)
-                iterators.append(iter(graph.get(successor, ())))
+                iterators.append(_successors(graph, successor))
                 found_next = True
                 break
             # A node with no outgoing edges cannot be on a cycle.

@@ -65,6 +65,11 @@ class WoundWaitCC(ConcurrencyControl):
             ]
             if not targets:
                 break
+            # ``conflicts`` is a set of transactions; wound in id order,
+            # not set-iteration order, so the sequence of restart events
+            # (and everything scheduled after them) is reproducible
+            # across processes.
+            targets.sort(key=lambda other: other.id)
             for other in targets:
                 wounded.add(other)
                 self._wound(other)

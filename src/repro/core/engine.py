@@ -253,41 +253,62 @@ class SystemModel:
 
     def _execute(self, tx):
         """One attempt: reads, (think,) writes, commit point, updates."""
-        cc_unit = self.params.cc_unit_of
+        cc = self.cc
+        store = self.store
+        physical = self.physical
+        params = self.params
+        cc_unit = params.cc_unit_of
+        reads_seen = tx.reads_seen
+        bus = self.bus
+        has_cc_work = physical.has_cc_work
+        read_request = cc.read_request
+        read_access = physical.read_access
+        store_read = store.read
         try:
             for obj in tx.read_set:
-                yield from self._cc_request(
-                    tx, self.cc.read_request, cc_unit(obj), "read"
-                )
-                version = self.store.read(
-                    obj, self.cc.reader_version_key(tx)
-                )
-                tx.reads_seen[obj] = version.writer_id
-                yield from self.physical.read_access(tx)
+                # Inline of _cc_request for the read leg: one request
+                # per object on the hottest loop of the simulator, so
+                # the grant fast path must not build a sub-generator.
+                if has_cc_work:
+                    yield from physical.cc_request_work(tx)
+                unit = cc_unit(obj)
+                while True:
+                    event = read_request(tx, unit)
+                    if event is None:
+                        if bus.wants_cc:
+                            bus.emit(CC_GRANT, tx=tx, obj=unit, op="read")
+                        break
+                    tx.state = TxState.BLOCKED
+                    yield event
+                    tx.state = TxState.RUNNING
+                version = store_read(obj, cc.reader_version_key(tx))
+                reads_seen[obj] = version.writer_id
+                yield from read_access(tx)
 
-            if self.params.int_think_time > 0.0:
+            if params.int_think_time > 0.0:
                 tx.state = TxState.THINKING
                 yield self.env.timeout(
                     self._int_think_rng.exponential(
-                        self.params.int_think_time
+                        params.int_think_time
                     )
                 )
                 tx.state = TxState.RUNNING
 
             for obj in self._write_order(tx):
                 yield from self._cc_request(
-                    tx, self.cc.write_request, cc_unit(obj), "write"
+                    tx, cc.write_request, cc_unit(obj), "write"
                 )
-                yield from self.physical.write_request_work(tx)
+                yield from physical.write_request_work(tx)
 
             # The commit point: validation (a concurrency-control request).
-            yield from self.physical.cc_request_work(tx)
-            event = self.cc.pre_commit(tx)
+            if physical.has_cc_work:
+                yield from physical.cc_request_work(tx)
+            event = cc.pre_commit(tx)
             if event is not None:
                 tx.state = TxState.BLOCKED
                 yield event
                 tx.state = TxState.RUNNING
-            tx.serial_key = self.cc.serial_key(tx) or self.next_timestamp()
+            tx.serial_key = cc.serial_key(tx) or self.next_timestamp()
             if tx.to_skipped_writes:
                 # Thomas-rule skips are expressed in CC units; filter
                 # the object-level writes they cover.
@@ -295,15 +316,15 @@ class SystemModel:
                     obj for obj in tx.write_set
                     if cc_unit(obj) not in tx.to_skipped_writes
                 )
-            if self.cc.install_at == INSTALL_AT_PRE_COMMIT:
+            if cc.install_at == INSTALL_AT_PRE_COMMIT:
                 self._install_writes(tx)
             tx.state = TxState.COMMITTING
 
             for _ in tx.install_write_set:
-                yield from self.physical.deferred_update(tx)
-            if self.cc.install_at != INSTALL_AT_PRE_COMMIT:
+                yield from physical.deferred_update(tx)
+            if cc.install_at != INSTALL_AT_PRE_COMMIT:
                 self._install_writes(tx)
-            self.cc.finalize_commit(tx)
+            cc.finalize_commit(tx)
             self._complete_commit(tx)
         except RestartTransaction as error:
             self._handle_restart(tx, error)
@@ -321,12 +342,14 @@ class SystemModel:
         driven correctly; lock-based algorithms return "granted" on the
         re-issue immediately.
         """
-        yield from self.physical.cc_request_work(tx)
+        if self.physical.has_cc_work:
+            yield from self.physical.cc_request_work(tx)
         while True:
             event = request_method(tx, obj)
             if event is None:
-                if self.bus.wants_cc:
-                    self.bus.emit(CC_GRANT, tx=tx, obj=obj, op=op)
+                bus = self.bus
+                if bus.wants_cc:
+                    bus.emit(CC_GRANT, tx=tx, obj=obj, op=op)
                 return
             tx.state = TxState.BLOCKED
             yield event

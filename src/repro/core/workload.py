@@ -60,10 +60,12 @@ class WorkloadGenerator:
             read_set = self._objects_rng.sample_without_replacement(
                 params.db_size, size
             )
+        # One batched draw per transaction instead of one call per
+        # object; the flags come out in read-set order, exactly as the
+        # per-object loop drew them.
+        write_flags = self._write_rng.bernoulli_many(write_prob, size)
         write_set = [
-            obj
-            for obj in read_set
-            if self._write_rng.bernoulli(write_prob)
+            obj for obj, write in zip(read_set, write_flags) if write
         ]
         self.generated += 1
         tx = Transaction(
@@ -88,8 +90,7 @@ class WorkloadGenerator:
         hot_size = params.hot_object_count()
         cold_size = params.db_size - hot_size
         hot_wanted = sum(
-            self._objects_rng.bernoulli(params.hot_access_prob)
-            for _ in range(size)
+            self._objects_rng.bernoulli_many(params.hot_access_prob, size)
         )
         hot_wanted = min(hot_wanted, hot_size)
         cold_wanted = size - hot_wanted

@@ -1,11 +1,13 @@
 """The simulation environment: clock, event queue, and run loop."""
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
 
 from repro.des.errors import EmptySchedule, StopSimulation
 from repro.des.events import NORMAL, AllOf, AnyOf, Event, Timeout
 from repro.des.process import Process
+
+_INF = float("inf")
 
 
 class Environment:
@@ -17,10 +19,12 @@ class Environment:
     deterministic for a fixed seed.
     """
 
+    __slots__ = ("_now", "_queue", "_eid", "_active_process")
+
     def __init__(self, initial_time=0.0):
         self._now = initial_time
         self._queue = []
-        self._eid = count()
+        self._eid = count().__next__
         self._active_process = None
 
     @property
@@ -57,20 +61,20 @@ class Environment:
 
     def schedule(self, event, priority=NORMAL, delay=0.0):
         """Queue ``event`` to be processed after ``delay`` time units."""
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
+        heappush(
+            self._queue, (self._now + delay, priority, self._eid(), event)
         )
 
     def peek(self):
         """Time of the next scheduled event (inf if none)."""
         if not self._queue:
-            return float("inf")
+            return _INF
         return self._queue[0][0]
 
     def step(self):
         """Process exactly one event."""
         try:
-            when, _, _, event = heapq.heappop(self._queue)
+            when, _, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no more events") from None
         self._now = when
@@ -93,10 +97,10 @@ class Environment:
         """
         stop_event = None
         if until is None:
-            deadline = float("inf")
+            deadline = _INF
         elif isinstance(until, Event):
             stop_event = until
-            deadline = float("inf")
+            deadline = _INF
             if stop_event.processed:
                 return stop_event.value
 
@@ -110,11 +114,23 @@ class Environment:
                 raise ValueError(
                     f"until ({deadline}) must not be before now ({self._now})"
                 )
+        # The inner loop is :meth:`step` inlined with everything bound to
+        # locals. This is the hottest loop of every simulation, so it pays
+        # not to re-resolve attribute and global lookups per event.
+        queue = self._queue
+        pop = heappop
         try:
-            while self._queue:
-                if self._queue[0][0] >= deadline:
+            while queue:
+                when = queue[0][0]
+                if when >= deadline:
                     break
-                self.step()
+                event = pop(queue)[3]
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
         except StopSimulation as stop:
             event = stop.value
             event._defused = True
@@ -123,6 +139,6 @@ class Environment:
             raise RuntimeError(
                 "run() finished without the until-event being processed"
             )
-        if deadline != float("inf"):
+        if deadline != _INF:
             self._now = deadline
         return None

@@ -67,7 +67,7 @@ class Event:
 
     def succeed(self, value=None, priority=NORMAL):
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
@@ -81,7 +81,7 @@ class Event:
         is waiting when the event is processed, the failure is re-raised at
         the run loop (unless ``defused``), so failures cannot pass silently.
         """
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
@@ -115,7 +115,12 @@ class Timeout(Event):
     def __init__(self, env, delay, value=None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        # Timeouts are the single most-created event type; initialize
+        # every field directly instead of paying for Event.__init__
+        # assigning _ok/_value only to overwrite them here.
+        self.env = env
+        self.callbacks = []
+        self._defused = False
         self.delay = delay
         self._ok = True
         self._value = value
@@ -144,11 +149,31 @@ class Condition(Event):
         if not self.events:
             self.succeed(self._collect())
             return
+        if len(self.events) == 1:
+            # Single-event wait: AllOf and AnyOf are both satisfied by
+            # that one event firing, so skip the _satisfied() dispatch
+            # entirely. The condition's value keeps the same shape.
+            event = self.events[0]
+            if event.processed:
+                self._on_fire_single(event)
+            else:
+                event.callbacks.append(self._on_fire_single)
+            return
         for event in self.events:
             if event.processed:
                 self._on_fire(event)
             else:
                 event.callbacks.append(self._on_fire)
+
+    def _on_fire_single(self, event):
+        if self._value is not PENDING:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._fired.append(event)
+        self.succeed({event: event._value})
 
     def _on_fire(self, event):
         if self.triggered:

@@ -47,6 +47,8 @@ class LevelMonitor:
     Reads the clock from the environment, so updates are one-argument.
     """
 
+    __slots__ = ("env", "name", "_tw")
+
     def __init__(self, env, name, initial=0.0):
         self.env = env
         self.name = name
@@ -85,21 +87,30 @@ class BusyTracker:
     classifies consumed service time as *useful* or *wasted* when each
     transaction attempt resolves (commit vs. restart), which yields the
     paper's total and useful utilization curves.
+
+    ``acquire``/``release`` run twice per CPU or disk service — among
+    the hottest calls of a simulation — so the tracker integrates a
+    :class:`~repro.stats.timeweighted.TimeWeighted` directly rather
+    than going through a :class:`LevelMonitor` indirection.
     """
+
+    __slots__ = (
+        "env", "name", "capacity", "_busy", "useful_time", "wasted_time"
+    )
 
     def __init__(self, env, name, capacity):
         self.env = env
         self.name = name
         self.capacity = capacity
-        self._busy = LevelMonitor(env, f"{name}.busy", initial=0.0)
+        self._busy = TimeWeighted(initial=0.0, start_time=env.now)
         self.useful_time = 0.0
         self.wasted_time = 0.0
 
     def acquire(self):
-        self._busy.add(1)
+        self._busy.add(1, self.env._now)
 
     def release(self):
-        self._busy.add(-1)
+        self._busy.add(-1, self.env._now)
 
     @property
     def busy_now(self):
@@ -115,7 +126,7 @@ class BusyTracker:
 
     def busy_area(self):
         """Busy-server-seconds accumulated so far."""
-        return self._busy.area()
+        return self._busy.area(self.env.now)
 
     def utilization(self, busy_area_at_start, window_start):
         """Mean fraction of servers busy over [window_start, now]."""
@@ -124,7 +135,7 @@ class BusyTracker:
             return 0.0
         if self.capacity == float("inf"):
             return 0.0
-        area = self._busy.area() - busy_area_at_start
+        area = self._busy.area(self.env.now) - busy_area_at_start
         return area / (elapsed * self.capacity)
 
     def useful_utilization(self, useful_at_start, window_start):

@@ -19,10 +19,11 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env, process):
-        super().__init__(env)
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resume_cb]
         self._value = None
-        self.callbacks.append(process._resume)
+        self._ok = True
+        self._defused = False
         env.schedule(self, URGENT)
 
 
@@ -34,7 +35,9 @@ class Process(Event):
     errors never pass silently.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = (
+        "_generator", "_target", "name", "_send", "_throw", "_resume_cb"
+    )
 
     def __init__(self, env, generator, name=None):
         if not isinstance(generator, GeneratorType):
@@ -43,6 +46,11 @@ class Process(Event):
             )
         super().__init__(env)
         self._generator = generator
+        # Bound-method caches: _resume runs once per event delivered to
+        # any process, so the send/throw attribute lookups add up.
+        self._send = generator.send
+        self._throw = generator.throw
+        self._resume_cb = self._resume
         self._target = None
         self.name = name or generator.__name__
         Initialize(env, self)
@@ -79,7 +87,7 @@ class Process(Event):
         # Detach from whatever we were waiting on, then resume with failure.
         if self._target is not None and not self._target.processed:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._resume(event)
@@ -87,14 +95,15 @@ class Process(Event):
     def _resume(self, event):
         env = self.env
         env._active_process = self
+        send = self._send
         while True:
             self._target = None
             try:
                 if event._ok:
-                    next_target = self._generator.send(event._value)
+                    next_target = send(event._value)
                 else:
                     event._defused = True
-                    next_target = self._generator.throw(event._value)
+                    next_target = self._throw(event._value)
             except StopIteration as stop:
                 env._active_process = None
                 self.succeed(stop.value)
@@ -112,11 +121,11 @@ class Process(Event):
                     )
                 )
                 return
-            if next_target.processed:
+            if next_target.callbacks is None:  # processed
                 # Already fired and delivered: resume immediately in-line.
                 event = next_target
                 continue
-            next_target.callbacks.append(self._resume)
+            next_target.callbacks.append(self._resume_cb)
             self._target = next_target
             break
         env._active_process = None

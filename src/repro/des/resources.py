@@ -6,10 +6,11 @@ one :class:`Resource` with ``capacity = num_cpus`` and a single global queue
 is a ``capacity=1`` :class:`Resource` with its own queue.
 """
 
+from collections import deque
 from heapq import heapify, heappop, heappush
 from itertools import count
 
-from repro.des.events import Event
+from repro.des.events import PENDING, Event
 
 
 class Request(Event):
@@ -23,12 +24,21 @@ class Request(Event):
         # released here, even if the process is interrupted
     """
 
-    __slots__ = ("resource", "priority")
+    __slots__ = ("resource", "priority", "_withdrawn")
 
     def __init__(self, resource, priority=0):
-        super().__init__(resource.env)
+        # Two requests per object access make this one of the
+        # most-created event types; assign every field directly rather
+        # than paying for the Event.__init__ call (same fields, same
+        # values).
+        self.env = resource.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self.resource = resource
         self.priority = priority
+        self._withdrawn = False
 
     def __enter__(self):
         return self
@@ -49,7 +59,23 @@ class Resource:
     ``priority`` values are served first; ties are FCFS. This implements
     both plain FCFS (all priorities equal) and the paper's rule that
     concurrency-control requests have priority over other CPU requests.
+
+    Withdrawing a queued request (``release``/``cancel`` before the grant)
+    uses *lazy deletion*: the request is tombstoned in place and skipped
+    when it reaches the heap top, instead of the O(n) scan plus full
+    re-``heapify`` an eager removal would cost. Interrupt-heavy workloads
+    (wound-wait aborts, fault injection) withdraw constantly, so this
+    keeps them O(log n) per operation. ``_live`` counts the non-withdrawn
+    queued requests; when tombstones dominate a large queue it is
+    compacted, which bounds memory without changing grant order (the heap
+    is rebuilt from the same (priority, arrival) keys).
     """
+
+    #: Compact the heap when it holds at least this many entries and
+    #: more than half of them are tombstones.
+    _COMPACT_MIN = 64
+
+    __slots__ = ("env", "capacity", "users", "_queue", "_order", "_live")
 
     def __init__(self, env, capacity=1):
         if capacity < 1:
@@ -58,7 +84,8 @@ class Resource:
         self.capacity = capacity
         self.users = set()
         self._queue = []
-        self._order = count()
+        self._order = count().__next__
+        self._live = 0
 
     @property
     def in_use(self):
@@ -67,17 +94,18 @@ class Resource:
 
     @property
     def queue_length(self):
-        """Number of requests waiting for a server."""
-        return len(self._queue)
+        """Number of requests waiting for a server (tombstones excluded)."""
+        return self._live
 
     def request(self, priority=0):
         """Claim a server; the returned event fires when one is assigned."""
         req = Request(self, priority)
-        if len(self.users) < self.capacity and not self._queue:
+        if not self._live and len(self.users) < self.capacity:
             self.users.add(req)
             req.succeed(req)
         else:
-            heappush(self._queue, (priority, next(self._order), req))
+            heappush(self._queue, (priority, self._order(), req))
+            self._live += 1
         return req
 
     def release(self, request):
@@ -87,26 +115,46 @@ class Resource:
         nor queued is a no-op, which makes context-manager cleanup safe
         after an interrupt-triggered early release.
         """
-        if request in self.users:
-            self.users.remove(request)
+        users = self.users
+        if request in users:
+            users.remove(request)
             self._grant_next()
         else:
             self._discard_queued(request)
 
     def _discard_queued(self, request):
-        for index, (_, _, queued) in enumerate(self._queue):
-            if queued is request:
-                self._queue.pop(index)
-                # heappop-less removal breaks the heap invariant; restore it.
-                heapify(self._queue)
-                return
+        # Every ungranted (untriggered) request of this resource sits in
+        # the queue, so a pending, not-yet-withdrawn request can be
+        # tombstoned without searching for it.
+        if request._withdrawn or request._value is not PENDING:
+            return
+        request._withdrawn = True
+        self._live -= 1
+        queued = len(self._queue)
+        if queued >= self._COMPACT_MIN and self._live * 2 < queued:
+            self._compact()
+
+    def _compact(self):
+        # Dropping tombstones and re-heapifying preserves grant order:
+        # grants pop by the total order (priority, arrival), which does
+        # not depend on the heap's internal layout.
+        self._queue = [
+            entry for entry in self._queue if not entry[2]._withdrawn
+        ]
+        heapify(self._queue)
 
     def _grant_next(self):
-        while self._queue and len(self.users) < self.capacity:
-            _, _, req = heappop(self._queue)
-            if req.triggered:
-                continue  # withdrawn or failed while queued
-            self.users.add(req)
+        queue = self._queue
+        users = self.users
+        capacity = self.capacity
+        while queue and len(users) < capacity:
+            req = heappop(queue)[2]
+            if req._withdrawn:
+                continue  # tombstone: withdrawn while queued
+            self._live -= 1
+            if req._value is not PENDING:
+                continue  # triggered behind our back; never re-grant
+            users.add(req)
             req.succeed(req)
 
 
@@ -119,6 +167,8 @@ class InfiniteResource:
     """
 
     capacity = float("inf")
+
+    __slots__ = ("env", "users")
 
     def __init__(self, env):
         self.env = env
@@ -149,10 +199,12 @@ class Store:
     feeding the ready queue into the active set).
     """
 
+    __slots__ = ("env", "_items", "_getters")
+
     def __init__(self, env):
         self.env = env
-        self._items = []
-        self._getters = []
+        self._items = deque()
+        self._getters = deque()
 
     @property
     def items(self):
@@ -176,7 +228,7 @@ class Store:
 
     def _dispatch(self):
         while self._items and self._getters:
-            getter = self._getters.pop(0)
+            getter = self._getters.popleft()
             if getter.triggered:
                 continue
-            getter.succeed(self._items.pop(0))
+            getter.succeed(self._items.popleft())

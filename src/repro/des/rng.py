@@ -13,12 +13,24 @@ import random
 
 
 class RandomStream:
-    """A named pseudo-random stream with the distributions the model needs."""
+    """A named pseudo-random stream with the distributions the model needs.
+
+    The hot distributions bypass :mod:`random`'s public wrappers where
+    that is provably bit-identical: ``uniform_int`` calls the generator's
+    ``_randbelow`` directly (exactly what ``randint`` bottoms out in),
+    and the ``*_many`` batch variants make the same underlying draws in
+    the same order as the equivalent loop of single draws, just without
+    paying Python call dispatch per draw.
+    """
+
+    __slots__ = ("name", "seed", "_random", "_rand", "_randbelow")
 
     def __init__(self, seed, name=""):
         self.name = name
         self.seed = seed
         self._random = random.Random(seed)
+        self._rand = self._random.random
+        self._randbelow = self._random._randbelow
 
     def exponential(self, mean):
         """Sample Exp(mean). A mean of zero degenerates to 0.0."""
@@ -33,16 +45,41 @@ class RandomStream:
         return self._random.uniform(low, high)
 
     def uniform_int(self, low, high):
-        """Sample an integer uniformly from [low, high] inclusive."""
+        """Sample an integer uniformly from [low, high] inclusive.
+
+        ``low + _randbelow(width)`` is exactly how ``randint`` is
+        implemented, so this consumes the same generator state and
+        returns the same values — minus two layers of re-validation.
+        """
         if low > high:
             raise ValueError(f"empty range [{low}, {high}]")
-        return self._random.randint(low, high)
+        return low + self._randbelow(high - low + 1)
+
+    def uniform_int_many(self, low, high, n):
+        """``n`` draws of :meth:`uniform_int`, batched.
+
+        Identical values, in order, to ``n`` single calls; batching
+        exists so per-draw hot paths (disk selection) can amortize the
+        method dispatch.
+        """
+        if low > high:
+            raise ValueError(f"empty range [{low}, {high}]")
+        width = high - low + 1
+        randbelow = self._randbelow
+        return [low + randbelow(width) for _ in range(n)]
 
     def bernoulli(self, p):
         """True with probability ``p``."""
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"p must be in [0, 1], got {p}")
-        return self._random.random() < p
+        return self._rand() < p
+
+    def bernoulli_many(self, p, n):
+        """``n`` draws of :meth:`bernoulli`, batched (same draws, in order)."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        rand = self._rand
+        return [rand() < p for _ in range(n)]
 
     def sample_without_replacement(self, population_size, k):
         """``k`` distinct integers from range(population_size).
@@ -64,7 +101,7 @@ class RandomStream:
         self._random.shuffle(items)
 
     def random(self):
-        return self._random.random()
+        return self._rand()
 
     def __repr__(self):
         return f"RandomStream(name={self.name!r}, seed={self.seed!r})"
@@ -76,6 +113,8 @@ class StreamFactory:
     Derivation hashes (root_seed, name) with SHA-256, so streams are stable
     across runs and machines and independent of creation order.
     """
+
+    __slots__ = ("root_seed", "_created")
 
     def __init__(self, root_seed):
         self.root_seed = root_seed

@@ -51,6 +51,7 @@ from repro.experiments.runner import (
     print_progress,
 )
 from repro.faults import scenario, scenario_names
+from repro.obs.events import ALL_KINDS
 
 
 def build_parser():
@@ -230,6 +231,17 @@ def main(argv=None):
         parser.error("--trace-out requires --trace")
     if args.trace_kinds is not None and not args.trace:
         parser.error("--trace-kinds requires --trace")
+    if args.trace_kinds is not None:
+        unknown = [
+            kind for kind in _parse_trace_kinds(args.trace_kinds) or ()
+            if kind not in ALL_KINDS
+        ]
+        if unknown:
+            parser.error(
+                f"--trace-kinds: unknown event kind(s) "
+                f"{', '.join(sorted(unknown))} "
+                f"(choose from {', '.join(sorted(ALL_KINDS))})"
+            )
     if args.timeseries is not None and args.timeseries <= 0:
         parser.error(f"--timeseries must be > 0, got {args.timeseries}")
     if args.timeseries_csv is not None and args.timeseries is None:

@@ -17,11 +17,11 @@ submission or completion order — so a sweep's results are identical
 for any worker count.
 """
 
+import hashlib
 import os
 import sys
 import time
 import traceback
-import zlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -52,12 +52,6 @@ STATUS_OK = "ok"
 STATUS_RETRIED = "retried"
 STATUS_FAILED = "failed"
 
-#: Seed offset between retry attempts of one point. Retries must not
-#: replay the exact failing trajectory, so attempt ``k`` reseeds with
-#: ``run.seed + k * RESEED_STRIDE`` plus a per-point offset (a prime
-#: comfortably larger than the handful of nearby seeds users sweep by
-#: hand).
-RESEED_STRIDE = 7919
 
 #: Extra wall-clock slack the parent grants a parallel sweep beyond the
 #: worst case its in-worker deadlines allow, before it declares a
@@ -72,9 +66,13 @@ def point_seed(seed, algorithm, mpl, attempt):
     common-random-numbers discipline the sequential runner has always
     used (shared randomness across algorithms and mpls reduces the
     variance of their differences, which is what the paper's curves
-    compare).  Retry attempts perturb by ``attempt * RESEED_STRIDE``
-    plus a stable per-point offset hashed from the grid key, so two
-    retried points do not replay each other's trajectories.
+    compare).  Retry attempts take the first 8 bytes of
+    ``sha256(seed:algorithm:mpl:attempt)``: a full-width stable hash
+    of the whole grid key, so distinct points cannot share an attempt
+    seed.  (An earlier scheme offset by ``crc32(key) % 7919``, which
+    collides whenever two grid keys are congruent modulo the stride —
+    colliding points replayed identical retry trajectories, silently
+    correlating their results.)
 
     The value is a pure function of ``(seed, algorithm, mpl,
     attempt)``: submission order, completion order and worker count
@@ -82,8 +80,8 @@ def point_seed(seed, algorithm, mpl, attempt):
     """
     if attempt == 0:
         return seed
-    offset = zlib.crc32(f"{algorithm}:{mpl}".encode()) % RESEED_STRIDE
-    return seed + attempt * RESEED_STRIDE + offset
+    key = f"{seed}:{algorithm}:{mpl}:{attempt}".encode()
+    return int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
 
 
 @dataclass(frozen=True)

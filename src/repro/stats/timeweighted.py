@@ -44,8 +44,17 @@ class TimeWeighted:
         self._value = value
 
     def add(self, delta, now):
-        """Shift the signal by ``delta`` at time ``now`` (counter idiom)."""
-        self.update(self._value + delta, now)
+        """Shift the signal by ``delta`` at time ``now`` (counter idiom).
+
+        Duplicates :meth:`update` rather than delegating: this runs on
+        every resource acquire/release, where the extra call shows up.
+        """
+        last = self._last_time
+        if now < last:
+            raise ValueError(f"time went backwards: {now} < {last}")
+        self._area += self._value * (now - last)
+        self._last_time = now
+        self._value += delta
 
     def area(self, now):
         """Time integral of the signal over [start_time, now]."""

@@ -106,6 +106,50 @@ class TestRunModes:
         with pytest.raises(RuntimeError, match="until-event"):
             env.run(until=never)
 
+    def test_run_until_time_sets_now_when_queue_drains_early(self):
+        # The queue runs dry at t=1 but the caller asked for t=10: the
+        # clock must land on the requested deadline, not on the last
+        # event, so back-to-back windowed runs tile time seamlessly.
+        env = Environment()
+        env.timeout(1.0)
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_run_until_time_on_empty_queue_advances_clock(self):
+        env = Environment()
+        env.run(until=7.5)
+        assert env.now == 7.5
+
+    def test_run_until_never_firing_event_leaves_clock_at_last_event(self):
+        env = Environment()
+        never = env.event()
+        env.timeout(1.0)
+        env.timeout(3.0)
+        with pytest.raises(RuntimeError, match="until-event"):
+            env.run(until=never)
+        assert env.now == 3.0
+
+    def test_run_until_never_firing_event_with_empty_queue(self):
+        env = Environment()
+        with pytest.raises(RuntimeError, match="until-event"):
+            env.run(until=env.event())
+
+    def test_urgent_band_is_fifo_before_the_normal_band(self):
+        # Same-time events: every URGENT event fires before any NORMAL
+        # event, and each band is FIFO in scheduling order — even when
+        # the bands are scheduled interleaved.
+        env = Environment()
+        fired = []
+        for tag, priority in (
+            ("n1", NORMAL), ("u1", URGENT),
+            ("n2", NORMAL), ("u2", URGENT),
+        ):
+            event = env.event()
+            event.callbacks.append(lambda ev, t=tag: fired.append(t))
+            event.succeed(priority=priority)
+        env.run()
+        assert fired == ["u1", "u2", "n1", "n2"]
+
     def test_run_until_time_excludes_boundary_events(self):
         env = Environment()
         fired = []

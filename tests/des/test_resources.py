@@ -126,6 +126,101 @@ class TestResource:
         assert res.in_use == 0
 
 
+class TestLazyDeletion:
+    """Withdrawn queued requests are tombstoned, not eagerly removed.
+
+    Regressions for the lazy-deletion queue: a withdrawn request must
+    never be granted (even when it sits at the heap top as capacity
+    frees), and tombstones — including a compaction pass — must not
+    disturb the (priority, FIFO) grant discipline.
+    """
+
+    def test_withdrawn_request_is_never_granted(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        holder = res.request()
+        withdrawn = res.request()
+        waiter = res.request()
+        withdrawn.cancel()  # tombstoned at the front of the queue
+        res.release(holder)
+        env.run()
+        assert withdrawn.triggered is False
+        assert waiter.triggered is True
+        assert res.in_use == 1
+
+    def test_withdrawn_then_released_again_is_noop(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        holder = res.request()
+        withdrawn = res.request()
+        withdrawn.cancel()
+        withdrawn.cancel()  # idempotent: still one tombstone
+        assert res.queue_length == 0
+        res.release(holder)
+        env.run()
+        assert withdrawn.triggered is False
+        assert res.in_use == 0
+
+    def test_priority_order_survives_tombstones(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def scenario(env):
+            env.process(hold(env, res, log, "running", 5.0))
+            yield env.timeout(1.0)
+            doomed = res.request(priority=0)
+            env.process(hold(env, res, log, "low", 1.0, priority=1))
+            yield env.timeout(1.0)
+            env.process(hold(env, res, log, "high", 1.0, priority=0))
+            doomed.cancel()
+
+        env.process(scenario(env))
+        env.run()
+        starts = [t for t, kind, _ in log if kind == "start"]
+        assert starts == ["running", "high", "low"]
+
+    def test_fifo_preserved_across_compaction(self):
+        # Overfill the queue past the compaction threshold, withdraw
+        # enough to trigger a rebuild, and check the survivors are
+        # still granted in arrival order.
+        env = Environment()
+        res = Resource(env, capacity=1)
+        holder = res.request()
+        requests = [res.request() for _ in range(200)]
+        for i, req in enumerate(requests):
+            if i % 4 != 0:
+                req.cancel()
+        survivors = [req for i, req in enumerate(requests) if i % 4 == 0]
+        assert res.queue_length == len(survivors)
+        assert len(res._queue) < 200  # compaction actually ran
+        granted = []
+
+        def driver(env):
+            yield env.timeout(1.0)
+            res.release(holder)
+            for _ in survivors:
+                yield env.timeout(1.0)
+                grantee = next(
+                    req for req in survivors if req in res.users
+                )
+                granted.append(grantee)
+                res.release(grantee)
+
+        env.process(driver(env))
+        env.run()
+        assert granted == survivors
+
+    def test_queue_length_counts_only_live_requests(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        res.request()
+        queued = [res.request() for _ in range(5)]
+        queued[1].cancel()
+        queued[3].cancel()
+        assert res.queue_length == 3
+
+
 class TestInfiniteResource:
     def test_everything_granted_instantly(self):
         env = Environment()

@@ -144,6 +144,25 @@ class TestObservabilityFlags:
         with pytest.raises(SystemExit):
             main(["--all", "--trace-kinds", "commit"])
 
+    def test_unknown_trace_kind_rejected(self, capsys):
+        # Regression: a typo like "comit" used to pass through silently
+        # and produce an empty trace; now it is a usage error that
+        # names the valid kinds.
+        with pytest.raises(SystemExit):
+            main(["--all", "--trace", "--trace-kinds", "submit,comit"])
+        err = capsys.readouterr().err
+        assert "comit" in err
+        assert "commit" in err  # the valid-kind list is shown
+
+    def test_known_trace_kinds_accepted_by_validation(self):
+        from repro.experiments.cli import _parse_trace_kinds
+        from repro.obs.events import ALL_KINDS
+
+        kinds = _parse_trace_kinds("submit,block,restart,commit")
+        assert kinds is not None
+        for kind in kinds:
+            assert kind in ALL_KINDS
+
     def test_nonpositive_timeseries_rejected(self):
         with pytest.raises(SystemExit):
             main(["--all", "--timeseries", "0"])

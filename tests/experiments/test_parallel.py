@@ -110,6 +110,33 @@ class TestPointSeed:
             11, "blocking", 5, 1
         )
 
+    def test_no_cross_point_collisions(self):
+        # Regression: the old offset was crc32(key) % 7919, so grid
+        # keys congruent modulo the stride shared every retry seed and
+        # replayed identical trajectories. A full grid of realistic
+        # size must produce all-distinct attempt seeds.
+        algorithms = [
+            "blocking", "immediate_restart", "optimistic",
+            "wound_wait", "wait_die",
+        ]
+        mpls = list(range(1, 301))
+        seeds = [
+            point_seed(11, algorithm, mpl, attempt)
+            for algorithm in algorithms
+            for mpl in mpls
+            for attempt in (1, 2, 3)
+        ]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_attempt_zero_never_collides_with_retries(self):
+        # The sweep seed is reserved for attempt 0 of every point; a
+        # retry landing on it would silently reinstate the failing
+        # trajectory it was meant to escape.
+        for algorithm in ("blocking", "optimistic"):
+            for mpl in (2, 25, 200):
+                for attempt in (1, 2, 3):
+                    assert point_seed(11, algorithm, mpl, attempt) != 11
+
 
 class TestParallelSequentialEquivalence:
     def test_identical_means_for_identical_seeds(self):
