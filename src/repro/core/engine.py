@@ -39,7 +39,6 @@ from repro.core.params import (
     DELAY_MODE_FIXED_ALL,
     DELAY_MODE_NONE_ALL,
 )
-from repro.core.physical import PhysicalModel
 from repro.core.store import ObjectStore
 from repro.core.transaction import TxState
 from repro.core.workload import WorkloadGenerator
@@ -61,6 +60,7 @@ from repro.obs.events import (
     TX_RESUBMIT,
     TX_SUBMIT,
 )
+from repro.resources import create_resource_model
 
 __all__ = ["SystemModel", "CommittedRecord"]
 
@@ -97,8 +97,11 @@ class SystemModel:
         # Anything with a new_transaction(terminal_id) method works as a
         # workload source; ReplayWorkload substitutes recorded traces.
         self.workload = workload or WorkloadGenerator(params, self.streams)
-        self.physical = PhysicalModel(
-            self.env, params, self.streams, bus=self.bus
+        #: The physical tier, constructed from the resource-model
+        #: registry (repro.resources) per params.resource_model.
+        self.physical = create_resource_model(
+            params.resource_model, self.env, params, self.streams,
+            bus=self.bus,
         )
         #: Fault injector driving params.faults, or None when the run
         #: is healthy. A null spec starts no injector at all, so the
@@ -283,7 +286,7 @@ class SystemModel:
                     tx.state = TxState.RUNNING
                 version = store_read(obj, cc.reader_version_key(tx))
                 reads_seen[obj] = version.writer_id
-                yield from read_access(tx)
+                yield from read_access(tx, obj)
 
             if params.int_think_time > 0.0:
                 tx.state = TxState.THINKING
@@ -298,7 +301,7 @@ class SystemModel:
                 yield from self._cc_request(
                     tx, cc.write_request, cc_unit(obj), "write"
                 )
-                yield from physical.write_request_work(tx)
+                yield from physical.write_request_work(tx, obj)
 
             # The commit point: validation (a concurrency-control request).
             if physical.has_cc_work:
@@ -320,8 +323,8 @@ class SystemModel:
                 self._install_writes(tx)
             tx.state = TxState.COMMITTING
 
-            for _ in tx.install_write_set:
-                yield from physical.deferred_update(tx)
+            for obj in tx.install_write_set:
+                yield from physical.deferred_update(tx, obj)
             if cc.install_at != INSTALL_AT_PRE_COMMIT:
                 self._install_writes(tx)
             cc.finalize_commit(tx)

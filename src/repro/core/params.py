@@ -37,6 +37,18 @@ ARRIVAL_OPEN = "open"      # Poisson arrivals at a fixed rate
 
 _ARRIVAL_MODES = (ARRIVAL_CLOSED, ARRIVAL_OPEN)
 
+# Buffer-pool probe policies (the ``buffered`` resource model).
+BUFFER_POLICY_LRU = "lru"      # exact LRU directory over object ids
+BUFFER_POLICY_FIXED = "fixed"  # every probe hits with buffer_hit_ratio
+
+_BUFFER_POLICIES = (BUFFER_POLICY_LRU, BUFFER_POLICY_FIXED)
+
+# Object→disk placements (the ``skewed_disks`` resource model).
+DISK_PLACEMENT_CONTIGUOUS = "contiguous"  # id runs map to one disk each
+DISK_PLACEMENT_STRIPED = "striped"        # round-robin (perfect striping)
+
+_DISK_PLACEMENTS = (DISK_PLACEMENT_CONTIGUOUS, DISK_PLACEMENT_STRIPED)
+
 
 @dataclass(frozen=True)
 class TransactionClass:
@@ -144,6 +156,24 @@ class SimulationParameters:
     #: windows, transient access faults — all seeded from dedicated RNG
     #: streams, so a null spec reproduces the healthy run bit-for-bit.
     faults: Optional[FaultSpec] = None
+    #: Which physical tier to simulate, by registry name (see
+    #: :mod:`repro.resources`): ``classic`` (the paper's Figure 2,
+    #: the default), ``infinite``, ``buffered``, ``skewed_disks``.
+    #: Validated lazily at model construction so plugin-registered
+    #: models are usable without touching this module.
+    resource_model: str = "classic"
+    #: Buffer-pool pages for ``resource_model="buffered"`` with the LRU
+    #: policy (None = db_size // 10).
+    buffer_capacity: Optional[int] = None
+    #: Buffer probe policy for the buffered model: ``"lru"`` (exact LRU
+    #: directory, deterministic) or ``"fixed"`` (every probe hits with
+    #: ``buffer_hit_ratio``, drawn from a dedicated stream).
+    buffer_policy: str = BUFFER_POLICY_LRU
+    #: Hit probability for ``buffer_policy="fixed"`` (required then).
+    buffer_hit_ratio: Optional[float] = None
+    #: Object→disk placement for ``resource_model="skewed_disks"``:
+    #: ``"contiguous"`` (hot data ⇒ hot spindles) or ``"striped"``.
+    disk_placement: str = DISK_PLACEMENT_CONTIGUOUS
 
     def __post_init__(self):
         if self.workload_mix is not None and not isinstance(
@@ -233,6 +263,35 @@ class SimulationParameters:
                     "disk faults require finite disks; set num_disks or "
                     "drop FaultSpec.disk"
                 )
+        if not self.resource_model or not isinstance(
+            self.resource_model, str
+        ):
+            raise ValueError(
+                f"resource_model must be a non-empty registry name, "
+                f"got {self.resource_model!r}"
+            )
+        if self.buffer_policy not in _BUFFER_POLICIES:
+            raise ValueError(
+                f"buffer_policy must be one of {_BUFFER_POLICIES}, "
+                f"got {self.buffer_policy!r}"
+            )
+        if self.buffer_capacity is not None and self.buffer_capacity < 1:
+            raise ValueError(
+                f"buffer_capacity must be >= 1 or None, "
+                f"got {self.buffer_capacity}"
+            )
+        if self.buffer_hit_ratio is not None and not (
+            0.0 <= self.buffer_hit_ratio <= 1.0
+        ):
+            raise ValueError(
+                f"buffer_hit_ratio must be in [0, 1], "
+                f"got {self.buffer_hit_ratio}"
+            )
+        if self.disk_placement not in _DISK_PLACEMENTS:
+            raise ValueError(
+                f"disk_placement must be one of {_DISK_PLACEMENTS}, "
+                f"got {self.disk_placement!r}"
+            )
         if self.workload_mix is not None:
             if not self.workload_mix:
                 raise ValueError("workload_mix must not be empty")

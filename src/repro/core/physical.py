@@ -1,253 +1,13 @@
-"""The physical queuing model (paper Figure 2).
+"""Backward-compatibility shim for the physical queuing model.
 
-A pool of identical CPU servers drains one global queue FCFS, except that
-concurrency-control requests have priority over all other CPU requests.
-The database is partitioned across the disks: each object access selects
-a disk uniformly at random and waits in that disk's FCFS queue. With
-``num_cpus``/``num_disks`` of None the corresponding resource is
-infinite: service takes the nominal time with no queueing.
-
-Service consumption is charged to the requesting transaction attempt
-(``attempt_cpu_time`` / ``attempt_disk_time``); the engine classifies
-those amounts as useful or wasted when the attempt commits or aborts,
-which produces the paper's total vs. useful utilization curves. If an
-attempt is aborted mid-service (wound-wait), only the time actually
-consumed is charged.
-
-The service primitives are hot-path code: disk selections are drawn in
-batches from the disk stream (same draws, same order as one-at-a-time),
-timeouts are constructed directly, and the request/release pairing uses
-explicit try/finally instead of the :class:`~repro.des.resources.Request`
-context manager — identical semantics, fewer calls per service.
+The physical tier now lives in :mod:`repro.resources` as a pluggable,
+registry-backed layer (see DESIGN.md §13). ``PhysicalModel`` — the
+pooled-CPU + partitioned-disk model of paper Figure 2 — is the
+``classic`` resource model; this module keeps the historical import
+path and names working for existing callers and tests.
 """
 
-from repro.des import BusyTracker, InfiniteResource, Resource
-from repro.des.events import Timeout
-from repro.obs.events import RESOURCE_BUSY, RESOURCE_IDLE
+from repro.resources.base import CC_PRIORITY, OBJECT_PRIORITY
+from repro.resources.classic import ClassicResourceModel as PhysicalModel
 
-#: CPU queue priority classes: CC requests beat object processing.
-CC_PRIORITY = 0
-OBJECT_PRIORITY = 1
-
-#: Disk selections drawn from the disk stream per refill. Batching only
-#: amortizes call overhead; the value sequence is unchanged.
-_DISK_PICK_BATCH = 256
-
-
-class PhysicalModel:
-    """CPU pool + partitioned disks, with utilization accounting."""
-
-    def __init__(self, env, params, streams, bus=None):
-        self.env = env
-        self.params = params
-        #: Optional repro.obs.InstrumentationBus for resource busy/idle
-        #: events; emission is guarded by its ``wants_resource`` flag so
-        #: the unobserved case costs one attribute load per service.
-        self.bus = bus
-        self._disk_rng = streams.stream("physical.disk_choice")
-        self._disk_picks = []
-        self._disk_pick_at = 0
-        #: Optional repro.faults.FaultInjector; set by its start().
-        #: None (the default) is the always-healthy physical model.
-        self.faults = None
-        #: False when ``cc_cpu`` is zero (the paper's tables): lets the
-        #: engine skip the whole cc_request_work generator per request.
-        self.has_cc_work = params.cc_cpu > 0.0
-
-        if params.num_cpus is None:
-            self.cpu = InfiniteResource(env)
-            cpu_capacity = float("inf")
-        else:
-            self.cpu = Resource(env, capacity=params.num_cpus)
-            cpu_capacity = params.num_cpus
-
-        if params.num_disks is None:
-            self.disks = [InfiniteResource(env)]
-            disk_capacity = float("inf")
-        else:
-            self.disks = [
-                Resource(env, capacity=1) for _ in range(params.num_disks)
-            ]
-            disk_capacity = params.num_disks
-
-        self.cpu_tracker = BusyTracker(env, "cpu", cpu_capacity)
-        self.disk_tracker = BusyTracker(env, "disk", disk_capacity)
-
-    # -- service primitives -------------------------------------------------
-    #
-    # Each returns a generator to be driven with ``yield from`` inside a
-    # transaction process. They are interrupt-safe: on abort mid-service
-    # the partial service time is still charged and the server released.
-
-    def cpu_service(self, tx, amount, priority=OBJECT_PRIORITY):
-        """Hold one CPU server for ``amount`` seconds.
-
-        Under an injected CPU degradation window the demand is
-        multiplied by the factor in effect when service *starts* (a
-        window boundary does not stretch service already in progress).
-        """
-        if amount <= 0.0:
-            return
-        if self.faults is not None:
-            amount *= self.faults.cpu_factor
-        env = self.env
-        bus = self.bus
-        tracker = self.cpu_tracker
-        request = self.cpu.request(priority=priority)
-        try:
-            yield request
-            tracker.acquire()
-            if bus is not None and bus.wants_resource:
-                bus.emit(RESOURCE_BUSY, resource="cpu", tx=tx)
-            start = env._now
-            try:
-                yield Timeout(env, amount)
-            finally:
-                tracker.release()
-                tx.attempt_cpu_time += env._now - start
-                if bus is not None and bus.wants_resource:
-                    bus.emit(RESOURCE_IDLE, resource="cpu", tx=tx)
-        finally:
-            self.cpu.release(request)
-
-    def _pick_disk(self):
-        """Index of a uniformly chosen disk (batched draws)."""
-        at = self._disk_pick_at
-        picks = self._disk_picks
-        if at >= len(picks):
-            self._disk_picks = picks = self._disk_rng.uniform_int_many(
-                0, len(self.disks) - 1, _DISK_PICK_BATCH
-            )
-            at = 0
-        self._disk_pick_at = at + 1
-        return picks[at]
-
-    def disk_service(self, tx, amount):
-        """Hold a uniformly chosen disk for ``amount`` seconds."""
-        if amount <= 0.0:
-            return
-        disk_index = self._pick_disk()
-        env = self.env
-        bus = self.bus
-        tracker = self.disk_tracker
-        disk = self.disks[disk_index]
-        request = disk.request()
-        try:
-            yield request
-            tracker.acquire()
-            if bus is not None and bus.wants_resource:
-                bus.emit(RESOURCE_BUSY, resource="disk", disk=disk_index, tx=tx)
-            start = env._now
-            try:
-                yield Timeout(env, amount)
-            finally:
-                tracker.release()
-                tx.attempt_disk_time += env._now - start
-                if bus is not None and bus.wants_resource:
-                    bus.emit(RESOURCE_IDLE, resource="disk", disk=disk_index, tx=tx)
-        finally:
-            disk.release(request)
-
-    # -- model-level composites -----------------------------------------------
-    #
-    # The composites inline the disk/cpu service bodies instead of
-    # delegating with ``yield from``: an object access is the single
-    # most-executed code path of a simulation, and the flattened form
-    # creates one generator per access instead of three. The yields,
-    # their order, and the interrupt-time accounting are exactly those
-    # of ``disk_service`` followed by ``cpu_service``.
-
-    def read_access(self, tx):
-        """Read one object: obj_io of disk, then obj_cpu of CPU.
-
-        With fault injection, the access may fault first (raising
-        RestartTransaction before any service is consumed).
-        """
-        faults = self.faults
-        if faults is not None:
-            faults.check_access_fault(tx)
-        env = self.env
-        bus = self.bus
-        params = self.params
-
-        amount = params.obj_io
-        if amount > 0.0:
-            disk_index = self._pick_disk()
-            tracker = self.disk_tracker
-            disk = self.disks[disk_index]
-            request = disk.request()
-            try:
-                yield request
-                tracker.acquire()
-                if bus is not None and bus.wants_resource:
-                    bus.emit(
-                        RESOURCE_BUSY, resource="disk",
-                        disk=disk_index, tx=tx,
-                    )
-                start = env._now
-                try:
-                    yield Timeout(env, amount)
-                finally:
-                    tracker.release()
-                    tx.attempt_disk_time += env._now - start
-                    if bus is not None and bus.wants_resource:
-                        bus.emit(
-                            RESOURCE_IDLE, resource="disk",
-                            disk=disk_index, tx=tx,
-                        )
-            finally:
-                disk.release(request)
-
-        amount = params.obj_cpu
-        if amount <= 0.0:
-            return
-        if faults is not None:
-            amount *= faults.cpu_factor
-        tracker = self.cpu_tracker
-        request = self.cpu.request(priority=OBJECT_PRIORITY)
-        try:
-            yield request
-            tracker.acquire()
-            if bus is not None and bus.wants_resource:
-                bus.emit(RESOURCE_BUSY, resource="cpu", tx=tx)
-            start = env._now
-            try:
-                yield Timeout(env, amount)
-            finally:
-                tracker.release()
-                tx.attempt_cpu_time += env._now - start
-                if bus is not None and bus.wants_resource:
-                    bus.emit(RESOURCE_IDLE, resource="cpu", tx=tx)
-        finally:
-            self.cpu.release(request)
-
-    def write_request_work(self, tx):
-        """CPU work at write-request time (updates are deferred).
-
-        Subject to transient access faults like reads; deferred updates
-        at commit time are not (past the commit point the transaction
-        can no longer abort).
-        """
-        if self.faults is not None:
-            self.faults.check_access_fault(tx)
-        yield from self.cpu_service(tx, self.params.obj_cpu)
-
-    def deferred_update(self, tx):
-        """Write one deferred update to disk at commit time."""
-        yield from self.disk_service(tx, self.params.obj_io)
-
-    def cc_request_work(self, tx):
-        """CPU work for one concurrency-control request (priority class).
-
-        Zero in the paper's parameter tables, so this is a no-op unless
-        ``cc_cpu`` is set (callers can check ``has_cc_work`` and skip
-        the generator entirely).
-        """
-        yield from self.cpu_service(tx, self.params.cc_cpu, CC_PRIORITY)
-
-    # -- attempt outcome accounting ----------------------------------------------
-
-    def charge_attempt(self, tx, useful):
-        """Classify the attempt's consumed service time by outcome."""
-        self.cpu_tracker.record_outcome(tx.attempt_cpu_time, useful)
-        self.disk_tracker.record_outcome(tx.attempt_disk_time, useful)
+__all__ = ["PhysicalModel", "CC_PRIORITY", "OBJECT_PRIORITY"]

@@ -37,7 +37,20 @@ def _collect_totals(model):
     }
     if model.fault_injector is not None:
         totals["faults"] = model.fault_injector.summary()
+    # Models without a buffer pool report None and add no key, which
+    # keeps classic/infinite totals byte-identical to pre-registry runs.
+    buffer = model.physical.buffer_summary()
+    if buffer is not None:
+        totals["buffer"] = buffer
     return totals
+
+
+def _buffer_diagnostics(model):
+    """The diagnostics payload for buffer-pool models (else None)."""
+    buffer = model.physical.buffer_summary()
+    if buffer is None:
+        return None
+    return {"buffer": dict(buffer)}
 
 
 @dataclass
@@ -141,6 +154,7 @@ def run_simulation(params, algorithm="blocking", run=None, seed=None,
         analyzer=analyzer,
         totals=totals,
         model=model if record_history else None,
+        diagnostics=_buffer_diagnostics(model),
     )
 
 
@@ -197,4 +211,5 @@ def run_until_precision(params, algorithm="blocking", run=None,
         run=run.with_changes(batches=analyzer.batches_recorded),
         analyzer=analyzer,
         totals=totals,
+        diagnostics=_buffer_diagnostics(model),
     )

@@ -5,6 +5,7 @@ chosen uniformly without replacement from the ``db_size`` objects; each
 read object is also written with probability ``write_prob``.
 """
 
+from bisect import bisect_right
 from itertools import count
 
 from repro.core.transaction import Transaction
@@ -22,26 +23,29 @@ class WorkloadGenerator:
         self._ids = count(1)
         self.generated = 0
         if params.workload_mix is not None:
-            self._class_weights = [
-                cls.weight for cls in params.workload_mix
-            ]
-            self._total_weight = sum(self._class_weights)
+            # Cumulative weights, summed once here in class order; the
+            # same left-to-right additions the per-draw loop used to
+            # repeat, so the boundaries (and every draw) are unchanged.
+            self._class_cumulative = []
+            cumulative = 0.0
+            for cls in params.workload_mix:
+                cumulative += cls.weight
+                self._class_cumulative.append(cumulative)
+            self._total_weight = cumulative
         else:
-            self._class_weights = None
+            self._class_cumulative = None
 
     def _draw_class(self):
         """Weighted class choice, or None for the single-class model."""
-        if self._class_weights is None:
+        if self._class_cumulative is None:
             return None
         pick = self._class_rng.random() * self._total_weight
-        cumulative = 0.0
-        for cls, weight in zip(
-            self.params.workload_mix, self._class_weights
-        ):
-            cumulative += weight
-            if pick < cumulative:
-                return cls
-        return self.params.workload_mix[-1]
+        # bisect_right finds the first boundary strictly above pick —
+        # exactly the old loop's ``pick < cumulative`` exit. The clamp
+        # covers pick rounding up onto the final boundary.
+        index = bisect_right(self._class_cumulative, pick)
+        mix = self.params.workload_mix
+        return mix[index] if index < len(mix) else mix[-1]
 
     def new_transaction(self, terminal_id):
         """A fresh transaction for ``terminal_id``."""

@@ -25,6 +25,11 @@ Examples::
     repro-experiments --experiment exp6_disk_faults --quick
     repro-experiments --figure 8 --quick --inject disk_storm
 
+    # resource-model ablations: the same paper experiment behind a
+    # buffer pool, or with explicit object->disk placement
+    repro-experiments --experiment exp7_buffered --quick
+    repro-experiments --figure 8 --quick --resource-model buffered
+
     # observability: stream per-point event traces and sample the
     # queue/utilization time-series every 2 simulated seconds
     repro-experiments --figure 8 --quick --trace --trace-out traces \
@@ -36,6 +41,7 @@ Examples::
 """
 
 import argparse
+import difflib
 import os
 import sys
 
@@ -52,6 +58,7 @@ from repro.experiments.runner import (
 )
 from repro.faults import scenario, scenario_names
 from repro.obs.events import ALL_KINDS
+from repro.resources import resource_model_names
 
 
 def build_parser():
@@ -83,8 +90,8 @@ def build_parser():
         help=(
             "one diagnostic run of a single algorithm on the paper's "
             "base (Table 2) parameters instead of a sweep; combine "
-            "with --mpl (first value; default 25), --inject, --trace "
-            "and --timeseries"
+            "with --mpl (first value; default 25), --inject, "
+            "--resource-model, --trace and --timeseries"
         ),
     )
     parser.add_argument(
@@ -153,12 +160,24 @@ def build_parser():
             "for any worker count"
         ),
     )
+    # --inject and --resource-model take registry names; they are NOT
+    # argparse ``choices`` so a typo gets a did-you-mean error from
+    # main() (matching --trace-kinds) instead of argparse's bare list.
     parser.add_argument(
-        "--inject", choices=scenario_names(), default=None,
+        "--inject", default=None,
         metavar="SCENARIO",
         help=(
             "overlay a named fault scenario on every experiment "
             f"(choices: {', '.join(scenario_names())})"
+        ),
+    )
+    parser.add_argument(
+        "--resource-model", default=None,
+        metavar="MODEL", dest="resource_model",
+        help=(
+            "overlay a resource model on every experiment "
+            f"(choices: {', '.join(resource_model_names())}; "
+            "default: each preset's own, usually classic)"
         ),
     )
     observability = parser.add_argument_group(
@@ -251,6 +270,13 @@ def main(argv=None):
             f"--single: unknown algorithm {args.single!r} "
             f"(choose from {', '.join(algorithm_names())})"
         )
+    _validate_registry_name(
+        parser, "--inject", args.inject, scenario_names(), "fault scenario"
+    )
+    _validate_registry_name(
+        parser, "--resource-model", args.resource_model,
+        resource_model_names(), "resource model",
+    )
     try:
         return _dispatch(args)
     except CheckpointMismatchError as error:
@@ -262,6 +288,23 @@ def main(argv=None):
             file=sys.stderr,
         )
         return 2
+
+
+def _validate_registry_name(parser, flag, value, choices, what):
+    """Reject an unknown registry name with a did-you-mean error.
+
+    Validated at parse time (like ``--trace-kinds``) so a typo is a
+    usage error before any simulation starts, and the closest valid
+    name is suggested when one is plausible.
+    """
+    if value is None or value in choices:
+        return
+    suggestion = difflib.get_close_matches(value, choices, n=1)
+    did_you_mean = f" (did you mean {suggestion[0]!r}?)" if suggestion else ""
+    parser.error(
+        f"{flag}: unknown {what} {value!r}{did_you_mean} "
+        f"(choose from {', '.join(choices)})"
+    )
 
 
 def _parse_trace_kinds(text):
@@ -292,6 +335,7 @@ def _dispatch(args):
         algorithms=args.algorithms,
         progress=print_progress,
         inject=scenario(args.inject) if args.inject else None,
+        resource_model=args.resource_model,
         checkpoint_dir=args.checkpoint,
         resume=args.resume,
         deadline=args.deadline,
@@ -342,6 +386,8 @@ def _run_single(args, run):
     params = SimulationParameters.table2(mpl=mpl)
     if args.inject:
         params = params.with_changes(faults=scenario(args.inject))
+    if args.resource_model:
+        params = params.with_changes(resource_model=args.resource_model)
     sampler = sink = None
     subscribers = []
     if args.timeseries is not None:

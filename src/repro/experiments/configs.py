@@ -173,6 +173,43 @@ def experiment_configs():
             ),
         ),
         ExperimentConfig(
+            experiment_id="exp7_buffered",
+            title="Experiment 7: Buffer Pool (LRU, 25% of the Database)",
+            figures=(),
+            params=_table2(
+                resource_model="buffered", buffer_capacity=250
+            ),
+            metrics=("throughput", "disk_util", "response_time"),
+            notes=(
+                "Beyond the paper: Table 2 resources behind an LRU "
+                "buffer pool of 250 pages (a quarter of the database). "
+                "Re-read hits skip the disk entirely, so the effective "
+                "I/O per transaction falls with the hit ratio and the "
+                "finite-resource verdict drifts toward the "
+                "infinite-resource one; the report's buffer table "
+                "shows the realized hit ratio per point."
+            ),
+        ),
+        ExperimentConfig(
+            experiment_id="exp8_skewed_disks",
+            title="Experiment 8: Hot Spindles (Skewed Placement + Hotspot)",
+            figures=(),
+            params=_table2(
+                resource_model="skewed_disks",
+                hot_fraction=0.1,
+                hot_access_prob=0.5,
+            ),
+            metrics=("throughput", "disk_util", "restart_ratio"),
+            notes=(
+                "Beyond the paper: the Section 6.2 hotspot workload "
+                "(50% of accesses to 10% of the data) on contiguous "
+                "object-to-disk placement, so the hot data lives on one "
+                "spindle and data skew becomes resource skew. Compare "
+                "against exp3_finite (classic placement spreads the "
+                "same accesses uniformly)."
+            ),
+        ),
+        ExperimentConfig(
             experiment_id="exp5_think_10s",
             title="Experiment 5: Interactive (10 s Internal Think)",
             figures=(20, 21),

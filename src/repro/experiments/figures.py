@@ -84,7 +84,9 @@ class FigureBuilder:
     experiment.
 
     ``inject`` overlays a :class:`~repro.faults.FaultSpec` onto every
-    experiment's parameters (the CLI's ``--inject``); ``checkpoint_dir``
+    experiment's parameters (the CLI's ``--inject``);
+    ``resource_model`` overlays a resource-model registry name the same
+    way (the CLI's ``--resource-model``); ``checkpoint_dir``
     checkpoints each experiment's sweep to
     ``<dir>/<experiment_id>.ckpt.jsonl`` (created on demand); other
     ``sweep_options`` are forwarded to :func:`run_sweep` verbatim
@@ -95,12 +97,14 @@ class FigureBuilder:
     """
 
     def __init__(self, run=None, mpls=None, algorithms=None, progress=None,
-                 inject=None, checkpoint_dir=None, **sweep_options):
+                 inject=None, resource_model=None, checkpoint_dir=None,
+                 **sweep_options):
         self.run = run or DEFAULT_RUN
         self.mpls = mpls
         self.algorithms = algorithms
         self.progress = progress
         self.inject = inject
+        self.resource_model = resource_model
         self.checkpoint_dir = checkpoint_dir
         self.sweep_options = sweep_options
         self._configs = experiment_configs()
@@ -116,11 +120,18 @@ class FigureBuilder:
         )
 
     def config_for(self, experiment_id):
-        """The experiment config, with any injected faults applied."""
+        """The experiment config, with any overlays applied."""
         config = self._configs[experiment_id]
         if self.inject is not None:
             config = replace(
                 config, params=config.params.with_changes(faults=self.inject)
+            )
+        if self.resource_model is not None:
+            config = replace(
+                config,
+                params=config.params.with_changes(
+                    resource_model=self.resource_model
+                ),
             )
         return config
 

@@ -198,6 +198,9 @@ class SweepCheckpoint:
         faults = getattr(self.config.params, "faults", None)
         return None if faults is None else faults.describe()
 
+    def _resource_model(self):
+        return getattr(self.config.params, "resource_model", "classic")
+
     def start_fresh(self):
         """Truncate and write the header line."""
         header = {
@@ -205,6 +208,7 @@ class SweepCheckpoint:
             "experiment_id": self.config.experiment_id,
             "run": asdict(self.run),
             "faults": self._faults_signature(),
+            "resource_model": self._resource_model(),
         }
         with open(self.path, "w") as f:
             f.write(json.dumps(header) + "\n")
@@ -259,6 +263,14 @@ class SweepCheckpoint:
                 f"{self.path}: checkpoint fault injection "
                 f"{header.get('faults')!r} does not match "
                 f"{self._faults_signature()!r}"
+            )
+        # Checkpoints written before resource models existed carry no
+        # key; they were all implicitly classic runs.
+        if header.get("resource_model", "classic") != self._resource_model():
+            raise CheckpointMismatchError(
+                f"{self.path}: checkpoint resource model "
+                f"{header.get('resource_model', 'classic')!r} does not "
+                f"match {self._resource_model()!r}"
             )
         restored = 0
         for raw in lines[1:]:

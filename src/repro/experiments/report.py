@@ -140,6 +140,70 @@ def conflict_ratio_table(sweep):
     return "\n".join(lines)
 
 
+def buffer_hit_table(sweep):
+    """Buffer-pool diagnostics: whole-run hit ratio per point.
+
+    Rendered only for sweeps whose points carry buffer statistics in
+    their totals (the ``buffered`` resource model); returns None
+    otherwise so classic reports are unchanged.
+    """
+    algorithms = sweep.algorithms()
+    mpls = sweep.mpls()
+    if not any(
+        (result.totals or {}).get("buffer")
+        for result in sweep.results.values()
+    ):
+        return None
+    width = 20
+    header = "mpl".rjust(5) + "".join(
+        alg.rjust(width) for alg in algorithms
+    )
+    lines = [
+        "Buffer pool (whole run): hit ratio  (hits/probes)",
+        header,
+        "-" * len(header),
+    ]
+    for mpl in mpls:
+        cells = []
+        for algorithm in algorithms:
+            result = sweep.results.get((algorithm, mpl))
+            totals = result.totals if result is not None else {}
+            buffer = totals.get("buffer") or {}
+            hits = buffer.get("hits", 0)
+            misses = buffer.get("misses", 0)
+            probes = hits + misses
+            if not probes:
+                cells.append("-".rjust(width))
+                continue
+            cells.append(
+                f"{hits / probes:6.1%}  ({hits}/{probes})".rjust(width)
+            )
+        lines.append(f"{mpl:5d}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def _resource_model_line(sweep):
+    """One-line resource-model label for the report header (or None)."""
+    params = getattr(sweep.config, "params", None)
+    model = getattr(params, "resource_model", "classic")
+    if model == "classic":
+        return None
+    detail = ""
+    if model == "buffered":
+        if params.buffer_policy == "fixed":
+            detail = f" (fixed hit ratio {params.buffer_hit_ratio})"
+        else:
+            capacity = (
+                params.buffer_capacity
+                if params.buffer_capacity is not None
+                else max(1, params.db_size // 10)
+            )
+            detail = f" (LRU, {capacity} pages)"
+    elif model == "skewed_disks":
+        detail = f" ({params.disk_placement} placement)"
+    return f"[resource model: {model}{detail}]"
+
+
 def sweep_report(sweep, with_plots=True):
     """Full textual report of one experiment sweep."""
     config = sweep.config
@@ -150,6 +214,9 @@ def sweep_report(sweep, with_plots=True):
             f"{', '.join(map(str, config.figures))})"
         )
     lines.append("=" * 72)
+    model_line = _resource_model_line(sweep)
+    if model_line:
+        lines.append(model_line)
     if config.notes:
         lines.append(config.notes)
         lines.append("")
@@ -161,6 +228,10 @@ def sweep_report(sweep, with_plots=True):
             lines.append("")
     lines.append(conflict_ratio_table(sweep))
     lines.append("")
+    buffer_table = buffer_hit_table(sweep)
+    if buffer_table is not None:
+        lines.append(buffer_table)
+        lines.append("")
     failed = sweep.failed_points()
     if failed:
         lines.append("FAILED POINTS (excluded from tables above):")

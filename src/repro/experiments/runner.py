@@ -357,7 +357,11 @@ def _execute_point(config, algorithm, mpl, run, deadline, stall_timeout,
                 sink.close()
     wall = time.perf_counter() - point_started
     if result is not None:
-        result.diagnostics = _point_diagnostics(timeseries, sampler, sink)
+        # Merge with anything the run itself produced (buffer-pool
+        # statistics from the buffered resource model), never overwrite.
+        extra = _point_diagnostics(timeseries, sampler, sink)
+        if extra:
+            result.diagnostics = {**(result.diagnostics or {}), **extra}
     error_text = (
         f"{type(failure).__name__}: {failure}"
         if failure is not None else None

@@ -76,15 +76,20 @@ class FaultInjector:
             self._access_rng = streams.stream("faults.access")
 
     def start(self):
-        """Attach to the physical model and launch fault processes."""
+        """Attach to the resource model and launch fault processes."""
         self.physical.faults = self
         if self.spec.disk is not None:
-            if self.physical.params.num_disks is None:
+            # The resource model decides which disks a fault process may
+            # crash; infinite models expose none (claiming an infinite
+            # server would block nobody), so injecting against them is a
+            # configuration error, not a silent no-op.
+            targets = self.physical.disk_fault_targets()
+            if not targets:
                 raise ValueError(
                     "disk faults require finite disks "
-                    "(num_disks is None: infinite resources)"
+                    "(this resource model exposes no crashable disks)"
                 )
-            for index, disk in enumerate(self.physical.disks):
+            for index, disk in targets:
                 self.env.process(self._disk_lifecycle(index, disk))
         if self.spec.cpu is not None:
             self.env.process(self._cpu_lifecycle())

@@ -12,9 +12,16 @@ subscriber protocol, and the overhead guarantees.
 
 from repro.obs import events
 from repro.obs.bus import InstrumentationBus
-from repro.obs.events import ALL_KINDS, FAULT_KINDS, LIFECYCLE_KINDS, RESOURCE_KINDS
+from repro.obs.events import (
+    ALL_KINDS,
+    BUFFER_KINDS,
+    FAULT_KINDS,
+    LIFECYCLE_KINDS,
+    RESOURCE_KINDS,
+)
 from repro.obs.jsonl import JsonlSink, read_jsonl
 from repro.obs.subscribers import (
+    BufferAccountingSubscriber,
     FaultAccountingSubscriber,
     HistorySubscriber,
     MetricsSubscriber,
@@ -31,6 +38,7 @@ __all__ = [
     "TraceSubscriber",
     "HistorySubscriber",
     "FaultAccountingSubscriber",
+    "BufferAccountingSubscriber",
     "TimeSeriesSampler",
     "JsonlSink",
     "read_jsonl",
@@ -40,5 +48,6 @@ __all__ = [
     "LIFECYCLE_KINDS",
     "FAULT_KINDS",
     "RESOURCE_KINDS",
+    "BUFFER_KINDS",
     "SAMPLE_FIELDS",
 ]

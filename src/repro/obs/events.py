@@ -26,6 +26,12 @@ Resources: ``resource_busy``/``resource_idle`` mark a CPU or disk
 server starting and finishing one service period (high volume; only
 emitted when subscribed).
 
+Buffer pool (the ``buffered`` resource model):
+``buffer_hit``/``buffer_miss`` record the cache probe outcome of one
+object read, ``buffer_writeback`` one deferred update written through
+at commit time. These drive the hit-ratio accounting that surfaces in
+``SimulationResult.diagnostics`` and the sweep report.
+
 Faults (:mod:`repro.faults`): ``disk_fail``/``disk_repair``,
 ``cpu_degrade``/``cpu_restore``, ``access_fault``.
 
@@ -54,6 +60,11 @@ CC_GRANT = "cc_grant"
 # -- physical resources -------------------------------------------------------
 RESOURCE_BUSY = "resource_busy"
 RESOURCE_IDLE = "resource_idle"
+
+# -- buffer pool (buffered resource model) ------------------------------------
+BUFFER_HIT = "buffer_hit"
+BUFFER_MISS = "buffer_miss"
+BUFFER_WRITEBACK = "buffer_writeback"
 
 # -- fault injection ----------------------------------------------------------
 FAULT_DISK_FAIL = "disk_fail"
@@ -88,8 +99,15 @@ FAULT_KINDS = (
 #: Kinds emitted by the physical model.
 RESOURCE_KINDS = (RESOURCE_BUSY, RESOURCE_IDLE)
 
+#: Kinds emitted by the buffered resource model's cache.
+BUFFER_KINDS = (BUFFER_HIT, BUFFER_MISS, BUFFER_WRITEBACK)
+
 #: Every kind the built-in emitters produce. Subscribers with
 #: ``kinds = None`` are registered for exactly this set.
 ALL_KINDS = frozenset(
-    LIFECYCLE_KINDS + FAULT_KINDS + RESOURCE_KINDS + (CC_GRANT, SAMPLE)
+    LIFECYCLE_KINDS
+    + FAULT_KINDS
+    + RESOURCE_KINDS
+    + BUFFER_KINDS
+    + (CC_GRANT, SAMPLE)
 )

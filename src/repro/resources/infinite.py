@@ -1,0 +1,26 @@
+"""The ``infinite`` resource model: unbounded servers, no queueing.
+
+The paper's Section 4 starting point: every CPU and I/O service takes
+its nominal time with no queueing delay, so the only impediment to
+performance is concurrency-control conflict. Previously this was the
+in-band ``num_cpus=None``/``num_disks=None`` branch of the classic
+model; this model is the explicit spelling — it forces infinite
+servers *regardless* of the configured counts, so a Table 2 parameter
+set can be swept against the infinite-resources assumption without
+editing the resource counts.
+
+Bit-identical to ``classic`` with ``num_cpus=None, num_disks=None``
+for fixed seeds: the infinite tier is one server pool, so the disk
+stream draws the same (all-zero) index sequence either way.
+"""
+
+from repro.resources.base import ResourceModel
+
+
+class InfiniteResourceModel(ResourceModel):
+    """Infinite CPUs and disks: pure concurrency-control limits."""
+
+    name = "infinite"
+
+    def _resource_counts(self):
+        return None, None

@@ -102,6 +102,27 @@ class TestGeneration:
             0.5 / 10.5, abs=0.02
         )
 
+    def test_bisect_draw_identical_to_linear_scan(self):
+        # _draw_class precomputes cumulative weights and bisects; the
+        # boundaries are the same left-to-right partial sums the old
+        # per-draw loop accumulated, so every seeded draw must map to
+        # the same class the linear scan would have picked.
+        params = mixed_params()
+        gen = WorkloadGenerator(params, StreamFactory(7))
+        reference_rng = StreamFactory(7).stream("workload.class")
+        mix = params.workload_mix
+        total = sum(cls.weight for cls in mix)
+        for _ in range(20_000):
+            pick = reference_rng.random() * total
+            cumulative = 0.0
+            expected = mix[-1]
+            for cls in mix:
+                cumulative += cls.weight
+                if pick < cumulative:
+                    expected = cls
+                    break
+            assert gen._draw_class() is expected
+
     def test_class_parameters_respected(self):
         gen = WorkloadGenerator(mixed_params(), StreamFactory(2))
         for _ in range(500):

@@ -180,6 +180,63 @@ class TestObservabilityFlags:
             build_parser().parse_args(["--single", "blocking", "--all"])
 
 
+class TestRegistryNameValidation:
+    def test_inject_typo_gets_did_you_mean(self, capsys):
+        # Regression: --inject used argparse choices, whose error is a
+        # bare list; now a typo suggests the closest scenario name.
+        with pytest.raises(SystemExit):
+            main(["--all", "--inject", "disk_strom"])
+        err = capsys.readouterr().err
+        assert "disk_strom" in err
+        assert "did you mean 'disk_storm'?" in err
+        assert "disk_crash" in err  # full choice list still shown
+
+    def test_inject_valid_name_accepted_by_parser(self):
+        args = build_parser().parse_args(["--all", "--inject", "disk_storm"])
+        assert args.inject == "disk_storm"
+
+    def test_resource_model_typo_gets_did_you_mean(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--all", "--resource-model", "bufered"])
+        err = capsys.readouterr().err
+        assert "did you mean 'buffered'?" in err
+        assert "classic" in err
+
+    def test_resource_model_hopeless_typo_lists_choices(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--all", "--resource-model", "zzz"])
+        err = capsys.readouterr().err
+        assert "did you mean" not in err
+        assert "classic" in err and "skewed_disks" in err
+
+    def test_resource_model_defaults_to_none(self):
+        assert build_parser().parse_args(["--all"]).resource_model is None
+
+    def test_figure_run_with_buffered_overlay(self, capsys):
+        code = main([
+            "--figure", "8",
+            "--batches", "1", "--batch-time", "3", "--warmup-batches", "0",
+            "--mpl", "5",
+            "--algorithm", "blocking",
+            "--no-plots",
+            "--resource-model", "buffered",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[resource model: buffered" in out
+        assert "Buffer pool" in out
+        assert "hit ratio" in out
+
+    def test_single_run_with_resource_model(self, capsys):
+        code = main([
+            "--single", "blocking", "--mpl", "5",
+            "--batches", "1", "--batch-time", "3", "--warmup-batches", "0",
+            "--resource-model", "buffered",
+        ])
+        assert code == 0
+        assert "whole run: commits=" in capsys.readouterr().out
+
+
 class TestSingleRun:
     def test_single_run_with_observability(self, capsys, tmp_path):
         import csv

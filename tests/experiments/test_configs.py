@@ -21,6 +21,8 @@ class TestConfigs:
             "exp5_think_5s",
             "exp5_think_10s",
             "exp6_disk_faults",
+            "exp7_buffered",
+            "exp8_skewed_disks",
         }
 
     def test_every_paper_figure_covered(self):
@@ -56,6 +58,24 @@ class TestConfigs:
         assert config.params.faults.disk is not None
         assert config.params.num_disks is not None
         assert set(config.algorithms) == {"blocking", "optimistic"}
+
+    def test_resource_model_experiments(self):
+        configs = experiment_configs()
+        exp7 = configs["exp7_buffered"]
+        assert exp7.params.resource_model == "buffered"
+        assert exp7.params.buffer_policy == "lru"
+        assert exp7.params.buffer_capacity == 250
+
+        exp8 = configs["exp8_skewed_disks"]
+        assert exp8.params.resource_model == "skewed_disks"
+        assert exp8.params.disk_placement == "contiguous"
+        assert exp8.params.has_hotspot
+        assert exp8.params.num_disks is not None
+
+        # The paper presets all run the classic physical tier.
+        for config in configs.values():
+            if config.figures:
+                assert config.params.resource_model == "classic"
 
     def test_experiment_parameters_match_paper(self):
         configs = experiment_configs()

@@ -92,3 +92,43 @@ class TestSweepReport:
     def test_report_without_plots(self, sweep):
         report = sweep_report(sweep, with_plots=False)
         assert "max=" not in report
+
+    def test_classic_sweep_has_no_buffer_table(self, sweep):
+        from repro.experiments.report import buffer_hit_table
+
+        assert buffer_hit_table(sweep) is None
+        report = sweep_report(sweep, with_plots=False)
+        assert "Buffer pool" not in report
+        assert "[resource model:" not in report
+
+
+class TestBufferedSweepReport:
+    @pytest.fixture(scope="class")
+    def buffered_sweep(self):
+        params = SimulationParameters(
+            db_size=200, min_size=4, max_size=8, write_prob=0.25,
+            num_terms=10, mpl=5, ext_think_time=0.5,
+            obj_io=0.010, obj_cpu=0.005, num_cpus=1, num_disks=2,
+            resource_model="buffered", buffer_capacity=50,
+        )
+        config = ExperimentConfig(
+            experiment_id="buffered-report-test",
+            title="Buffered report test",
+            figures=(),
+            params=params,
+            algorithms=("blocking",),
+            mpls=(2, 5),
+            metrics=("throughput", "disk_util"),
+        )
+        return run_sweep(config, run=TINY_RUN)
+
+    def test_buffer_table_and_model_line(self, buffered_sweep):
+        from repro.experiments.report import buffer_hit_table
+
+        table = buffer_hit_table(buffered_sweep)
+        assert table is not None
+        assert "hit ratio" in table
+        report = sweep_report(buffered_sweep, with_plots=False)
+        assert "[resource model: buffered (LRU, 50 pages)]" in report
+        assert "Buffer pool" in report
+        assert "%" in report  # per-point hit-ratio cells render

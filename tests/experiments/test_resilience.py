@@ -301,6 +301,45 @@ class TestCheckpointResume:
             run_sweep(other, run=TINY_RUN, mpls=[2], checkpoint=path,
                       resume=True)
 
+    def test_mismatched_resource_model_rejected(self, tmp_path):
+        path = str(tmp_path / "tiny.ckpt.jsonl")
+        run_sweep(tiny_config(), run=TINY_RUN, mpls=[2], checkpoint=path)
+        buffered = tiny_config(
+            params=tiny_params().with_changes(resource_model="buffered")
+        )
+        with pytest.raises(CheckpointMismatchError, match="resource"):
+            run_sweep(buffered, run=TINY_RUN, mpls=[2], checkpoint=path,
+                      resume=True)
+
+    def test_resource_model_round_trips_through_checkpoint(self, tmp_path):
+        path = str(tmp_path / "tiny.ckpt.jsonl")
+        buffered = tiny_config(
+            params=tiny_params().with_changes(resource_model="buffered")
+        )
+        run_sweep(buffered, run=TINY_RUN, mpls=[2], checkpoint=path)
+        with open(path) as f:
+            header = json.loads(f.readline())
+        assert header["resource_model"] == "buffered"
+        # Same model resumes cleanly and keeps the recorded point.
+        resumed = run_sweep(buffered, run=TINY_RUN, mpls=[2],
+                            checkpoint=path, resume=True)
+        assert resumed.status("blocking", 2).status == STATUS_OK
+
+    def test_header_without_resource_model_means_classic(self, tmp_path):
+        # Checkpoints written before the resource-model layer have no
+        # header key; they must still resume under the classic model.
+        path = str(tmp_path / "tiny.ckpt.jsonl")
+        run_sweep(tiny_config(), run=TINY_RUN, mpls=[2], checkpoint=path)
+        with open(path) as f:
+            lines = f.read().splitlines()
+        header = json.loads(lines[0])
+        del header["resource_model"]
+        with open(path, "w") as f:
+            f.write("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        resumed = run_sweep(tiny_config(), run=TINY_RUN, mpls=[2],
+                            checkpoint=path, resume=True)
+        assert resumed.status("blocking", 2).status == STATUS_OK
+
     def test_truncated_trailing_line_tolerated(self, tmp_path):
         path = str(tmp_path / "tiny.ckpt.jsonl")
         run_sweep(tiny_config(), run=TINY_RUN, mpls=[2, 5],

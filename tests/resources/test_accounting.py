@@ -1,0 +1,142 @@
+"""Mid-service abort accounting across resource models.
+
+The engine's contract with the physical tier: when a transaction is
+interrupted mid-service, the partial service time already consumed is
+charged to the attempt, the server is released on unwind, and
+``charge_attempt(useful=False)`` books exactly that partial time as
+wasted in the utilization trackers. These tests pin the contract for
+both legs (disk and CPU) of the flattened ``read_access`` hot path and
+for the generic composed legs the buffered model uses.
+"""
+
+import pytest
+
+from repro.core import SimulationParameters
+from repro.core.transaction import Transaction
+from repro.des import Environment, StreamFactory
+from repro.resources import create_resource_model
+
+
+def build(name="classic", **overrides):
+    params = SimulationParameters.table2(
+        num_cpus=1, num_disks=2, resource_model=name, **overrides
+    )
+    env = Environment()
+    model = create_resource_model(name, env, params, StreamFactory(5))
+    return env, model, params
+
+
+def tx():
+    return Transaction(1, 0, read_set=(1,), write_set=())
+
+
+def interrupt_at(env, victim, when):
+    def killer(env):
+        yield env.timeout(when)
+        victim.interrupt("abort")
+
+    env.process(killer(env))
+    with pytest.raises(Exception):
+        env.run(until=victim)
+
+
+def assert_all_released(model):
+    assert model.cpu.in_use == 0
+    for disk in model.disks:
+        assert disk.in_use == 0
+
+
+class TestClassicReadAccess:
+    def test_abort_during_disk_leg(self):
+        env, model, params = build()
+        t = tx()
+        cut = 0.4 * params.obj_io
+        victim = env.process(model.read_access(t, 1))
+        interrupt_at(env, victim, cut)
+
+        assert t.attempt_disk_time == pytest.approx(cut)
+        assert t.attempt_cpu_time == 0.0
+        assert_all_released(model)
+
+        model.charge_attempt(t, useful=False)
+        assert model.disk_tracker.wasted_time == pytest.approx(cut)
+        assert model.disk_tracker.useful_time == 0.0
+        assert model.cpu_tracker.wasted_time == 0.0
+
+    def test_abort_during_cpu_leg(self):
+        env, model, params = build()
+        t = tx()
+        cut = params.obj_io + 0.5 * params.obj_cpu
+        victim = env.process(model.read_access(t, 1))
+        interrupt_at(env, victim, cut)
+
+        # Disk leg completed in full; CPU leg was cut halfway.
+        assert t.attempt_disk_time == pytest.approx(params.obj_io)
+        assert t.attempt_cpu_time == pytest.approx(0.5 * params.obj_cpu)
+        assert_all_released(model)
+
+        model.charge_attempt(t, useful=False)
+        assert model.disk_tracker.wasted_time == pytest.approx(
+            params.obj_io
+        )
+        assert model.cpu_tracker.wasted_time == pytest.approx(
+            0.5 * params.obj_cpu
+        )
+        assert model.cpu_tracker.useful_time == 0.0
+
+
+class TestGenericLegs:
+    def test_abort_during_disk_service(self):
+        env, model, _ = build()
+        t = tx()
+        victim = env.process(model.disk_service(t, 1.0))
+        interrupt_at(env, victim, 0.25)
+
+        assert t.attempt_disk_time == pytest.approx(0.25)
+        assert_all_released(model)
+        model.charge_attempt(t, useful=False)
+        assert model.disk_tracker.wasted_time == pytest.approx(0.25)
+
+    def test_abort_during_cpu_service(self):
+        env, model, _ = build()
+        t = tx()
+        victim = env.process(model.cpu_service(t, 1.0))
+        interrupt_at(env, victim, 0.4)
+
+        assert t.attempt_cpu_time == pytest.approx(0.4)
+        assert_all_released(model)
+        model.charge_attempt(t, useful=False)
+        assert model.cpu_tracker.wasted_time == pytest.approx(0.4)
+
+    def test_abort_while_queued_charges_nothing(self):
+        env, model, _ = build()
+        holder, waiter = tx(), tx()
+        env.process(model.cpu_service(holder, 1.0))
+        victim = env.process(model.cpu_service(waiter, 1.0))
+        interrupt_at(env, victim, 0.5)  # still in queue at 0.5
+
+        assert waiter.attempt_cpu_time == 0.0
+        model.charge_attempt(waiter, useful=False)
+        assert model.cpu_tracker.wasted_time == 0.0
+
+
+class TestBufferedMissPath:
+    def test_abort_during_miss_disk_leg(self):
+        env, model, params = build("buffered", buffer_capacity=10)
+        t = tx()
+        cut = 0.5 * params.obj_io
+        victim = env.process(model.read_access(t, 7))
+        interrupt_at(env, victim, cut)
+
+        assert t.attempt_disk_time == pytest.approx(cut)
+        assert t.attempt_cpu_time == 0.0
+        assert_all_released(model)
+        # The transfer never completed: the page must NOT be resident.
+        reader = tx()
+        done = env.process(model.read_access(reader, 7))
+        env.run(until=done)
+        assert model.accounting.hits == 0
+        assert model.accounting.misses == 2
+
+        model.charge_attempt(t, useful=False)
+        assert model.disk_tracker.wasted_time == pytest.approx(cut)
