@@ -1,0 +1,36 @@
+"""repro.chaos — harness-level fault injection for chaos testing.
+
+Distinct from :mod:`repro.faults`, which injects *modeled* faults (disk
+crashes, CPU degradation) **inside** the simulated world and is part of
+an experiment's parameters. This package attacks the **harness
+itself** — the processes, files and syscalls a sweep depends on — so
+tests can prove the supervision and persistence layers recover:
+
+* :class:`ChaosSpec` — a seeded, picklable plan of worker-level
+  mayhem: SIGKILL a worker when it starts a named grid point, or hang
+  it past its deadline. Trips are one-shot (a marker file in
+  ``state_dir`` records each firing), so a resumed sweep runs clean —
+  exactly the kill-then-recover scenario the chaos parity tests
+  assert byte-identical results for.
+* :func:`truncate_tail` / :func:`garble_tail` — deterministically
+  destroy the trailing bytes of a checkpoint, simulating a kill
+  mid-write or torn sectors.
+* :class:`FlakyFsync` — make the persistence layer's fsync fail for
+  the next N calls, proving atomic writes leave the previous good
+  file intact.
+
+Everything here is deterministic given the spec/seed, and nothing here
+touches the simulation's RNG streams: chaos changes *when the harness
+dies*, never *what the model computes*, which is what makes
+"killed-and-resumed equals fault-free" a meaningful guarantee.
+"""
+
+from repro.chaos.spec import ChaosSpec
+from repro.chaos.storage import FlakyFsync, garble_tail, truncate_tail
+
+__all__ = [
+    "ChaosSpec",
+    "FlakyFsync",
+    "garble_tail",
+    "truncate_tail",
+]

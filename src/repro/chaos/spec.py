@@ -1,0 +1,89 @@
+"""ChaosSpec: a seeded, one-shot plan of worker-level harness faults.
+
+The sweep runner calls :meth:`ChaosSpec.on_point_start` at the top of
+every point attempt (both in-process and inside pool workers — the
+spec is a frozen dataclass of plain values, so it pickles cleanly).
+When the attempt matches a planned fault and that fault has not fired
+yet, the process kills or hangs itself *right there* — before any
+result can reach the checkpoint — which is the worst case for the
+supervision layer.
+
+One-shot semantics are what make recovery provable: each fault records
+its firing as a marker file in ``state_dir`` **before** acting, so the
+retried/resumed attempt runs clean. A killed-and-resumed sweep must
+therefore produce results byte-identical to a never-killed one
+(per-point seeds are pure functions of the grid key; see
+``repro.experiments.runner.point_seed``).
+"""
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["ChaosSpec"]
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A plan of harness-level faults for one sweep.
+
+    ``state_dir`` holds the one-shot marker files (created on demand);
+    ``kill_point`` names the (algorithm, mpl) grid point whose first
+    attempt SIGKILLs its process; ``hang_point`` names the point whose
+    first attempt sleeps ``hang_seconds`` — long enough to outlive any
+    in-worker deadline, so only the parent backstop can end it.
+    """
+
+    state_dir: str
+    kill_point: Optional[Tuple[str, int]] = None
+    hang_point: Optional[Tuple[str, int]] = None
+    hang_seconds: float = 3600.0
+
+    def marker_path(self, action, algorithm, mpl):
+        """The marker file recording one fault's firing."""
+        return os.path.join(
+            self.state_dir, f"chaos.{action}.{algorithm}.mpl{mpl}"
+        )
+
+    def _arm(self, action, algorithm, mpl):
+        """True exactly once per fault: creates the marker atomically.
+
+        ``O_EXCL`` makes creation the test-and-set, so even two racing
+        workers cannot both fire the same fault. The marker must exist
+        *before* the fault acts — a SIGKILL cannot be followed by
+        bookkeeping.
+        """
+        os.makedirs(self.state_dir, exist_ok=True)
+        try:
+            fd = os.open(
+                self.marker_path(action, algorithm, mpl),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def on_point_start(self, algorithm, mpl):
+        """Fire any planned fault for this grid point (first time only)."""
+        key = (algorithm, mpl)
+        if self.kill_point == key and self._arm("kill", algorithm, mpl):
+            # SIGKILL, not sys.exit: no cleanup, no flushing, no
+            # executor goodbye — the hardest death available.
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self.hang_point == key and self._arm("hang", algorithm, mpl):
+            time.sleep(self.hang_seconds)
+
+    def describe(self):
+        """Stable one-line signature (diagnostics, progress lines)."""
+        parts = []
+        if self.kill_point is not None:
+            parts.append(f"kill={self.kill_point[0]}@{self.kill_point[1]}")
+        if self.hang_point is not None:
+            parts.append(
+                f"hang={self.hang_point[0]}@{self.hang_point[1]}"
+                f"x{self.hang_seconds:g}s"
+            )
+        return "chaos(" + ", ".join(parts or ["null"]) + ")"

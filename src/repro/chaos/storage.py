@@ -1,0 +1,81 @@
+"""Storage-level chaos: checkpoint corruption and fsync failure.
+
+These helpers deterministically reproduce what real crashes do to
+files — a kill mid-write leaves a truncated tail, torn sectors leave
+garbled bytes, a dying disk fails fsync — so the recovery tests in
+``tests/experiments/test_recovery.py`` can assert the persistence
+layer's guarantees: CRC-guarded salvage of the valid prefix, and
+atomic replace-writes that never destroy the previous good file.
+"""
+
+import os
+
+from repro.experiments import persistence as _persistence
+
+__all__ = ["FlakyFsync", "garble_tail", "truncate_tail"]
+
+
+def truncate_tail(path, nbytes):
+    """Chop the last ``nbytes`` off a file (a kill mid-write).
+
+    Returns the new size. Truncating more bytes than the file holds
+    empties it, which models a crash during the very first write.
+    """
+    size = os.path.getsize(path)
+    new_size = max(0, size - nbytes)
+    with open(path, "r+b") as f:
+        f.truncate(new_size)
+    return new_size
+
+
+def garble_tail(path, nbytes, seed=0):
+    """Deterministically corrupt the last ``nbytes`` of a file.
+
+    Bytes are XORed with a non-zero mask derived from ``seed``, so the
+    damage is reproducible and never a no-op (the mask cannot be 0).
+    Models torn sectors: the file keeps its length but its tail is
+    trash, which only a per-record checksum can detect.
+    """
+    size = os.path.getsize(path)
+    nbytes = min(nbytes, size)
+    if nbytes == 0:
+        return 0
+    with open(path, "r+b") as f:
+        f.seek(size - nbytes)
+        tail = bytearray(f.read(nbytes))
+        for index in range(len(tail)):
+            tail[index] ^= 1 + ((seed + index) % 255)
+        f.seek(size - nbytes)
+        f.write(bytes(tail))
+    return nbytes
+
+
+class FlakyFsync:
+    """Context manager: the persistence layer's next fsyncs fail.
+
+    Patches the ``repro.experiments.persistence`` module's fsync seam
+    so the next ``failures`` calls raise ``OSError(EIO)``; later calls
+    (and everything outside the ``with`` block) behave normally. Used
+    to prove atomic writes abandon their tmp file and leave the
+    previous good file untouched when durability cannot be assured.
+    """
+
+    def __init__(self, failures=1):
+        self.failures = failures
+        self.calls = 0
+        self._original = None
+
+    def _fsync(self, fd):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise OSError(5, "Input/output error (injected by FlakyFsync)")
+        return self._original(fd)
+
+    def __enter__(self):
+        self._original = _persistence._fsync
+        _persistence._fsync = self._fsync
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        _persistence._fsync = self._original
+        return False

@@ -15,6 +15,7 @@ from typing import Any, Dict, Optional
 
 from repro.core.engine import SystemModel
 from repro.core.params import RunConfig, SimulationParameters
+from repro.obs.invariants import InvariantChecker, resolve_invariant_mode
 from repro.stats import BatchMeansAnalyzer
 
 __all__ = ["SimulationResult", "run_simulation", "run_until_precision"]
@@ -51,6 +52,30 @@ def _buffer_diagnostics(model):
     if buffer is None:
         return None
     return {"buffer": dict(buffer)}
+
+
+def _resolve_checker(invariants, subscribers):
+    """(checker or None, subscribers) for the requested invariant mode.
+
+    ``invariants`` is ``"strict"``/``"warn"``/``"off"``/None (None
+    defers to the ``REPRO_INVARIANTS`` environment variable, default
+    off). The checker joins the subscriber list, so it rides the same
+    attach path as every other observer; ``"off"`` attaches nothing at
+    all, which keeps the bus's fast-path flags down and the hot loops
+    allocation-free.
+    """
+    mode = resolve_invariant_mode(invariants)
+    if mode == "off":
+        return None, subscribers
+    checker = InvariantChecker(mode=mode)
+    return checker, (*tuple(subscribers), checker)
+
+
+def _merge_invariant_diagnostics(diagnostics, checker):
+    """Fold the checker's report into a diagnostics payload."""
+    if checker is None:
+        return diagnostics
+    return {**(diagnostics or {}), "invariants": checker.report()}
 
 
 @dataclass
@@ -103,7 +128,7 @@ class SimulationResult:
 
 def run_simulation(params, algorithm="blocking", run=None, seed=None,
                    record_history=False, batch_callback=None,
-                   tracer=None, subscribers=()):
+                   tracer=None, subscribers=(), invariants=None):
     """Run one configuration to completion using modified batch means.
 
     ``run.warmup_batches`` initial batches are simulated but discarded;
@@ -123,11 +148,20 @@ def run_simulation(params, algorithm="blocking", run=None, seed=None,
     the sweep runner's stall watchdog and wall-clock deadline live
     there — and may raise to abort the run; the exception propagates
     to the caller unchanged.
+
+    ``invariants`` attaches an :class:`~repro.obs.InvariantChecker`
+    that continuously audits the run's event stream: ``"strict"``
+    raises :class:`~repro.obs.InvariantViolationError` at the violating
+    event, ``"warn"`` records violations into
+    ``result.diagnostics["invariants"]``, ``"off"`` attaches nothing.
+    ``None`` (the default) defers to the ``REPRO_INVARIANTS``
+    environment variable, then ``"off"``.
     """
     if run is None:
         run = RunConfig()
     if seed is not None:
         run = run.with_changes(seed=seed)
+    checker, subscribers = _resolve_checker(invariants, subscribers)
     model = SystemModel(
         params,
         algorithm=algorithm,
@@ -154,14 +188,16 @@ def run_simulation(params, algorithm="blocking", run=None, seed=None,
         analyzer=analyzer,
         totals=totals,
         model=model if record_history else None,
-        diagnostics=_buffer_diagnostics(model),
+        diagnostics=_merge_invariant_diagnostics(
+            _buffer_diagnostics(model), checker
+        ),
     )
 
 
 def run_until_precision(params, algorithm="blocking", run=None,
                         metric="throughput", target_relative_hw=0.05,
                         max_batches=200, seed=None,
-                        tracer=None, subscribers=()):
+                        tracer=None, subscribers=(), invariants=None):
     """Run with a *sequential stopping rule* instead of a fixed length.
 
     The paper chose its batch times per experiment to get "sufficiently
@@ -184,6 +220,7 @@ def run_until_precision(params, algorithm="blocking", run=None,
     run = run or RunConfig()
     if seed is not None:
         run = run.with_changes(seed=seed)
+    checker, subscribers = _resolve_checker(invariants, subscribers)
     model = SystemModel(
         params, algorithm=algorithm, seed=run.seed,
         tracer=tracer, subscribers=subscribers,
@@ -211,5 +248,7 @@ def run_until_precision(params, algorithm="blocking", run=None,
         run=run.with_changes(batches=analyzer.batches_recorded),
         analyzer=analyzer,
         totals=totals,
-        diagnostics=_buffer_diagnostics(model),
+        diagnostics=_merge_invariant_diagnostics(
+            _buffer_diagnostics(model), checker
+        ),
     )

@@ -14,6 +14,7 @@ from repro.experiments.configs import (
     experiment_configs,
 )
 from repro.experiments.errors import (
+    CheckpointCorruptError,
     CheckpointMismatchError,
     ExperimentError,
     PointCancelledError,
@@ -21,6 +22,7 @@ from repro.experiments.errors import (
     PointExecutionError,
     SimulationStalledError,
     WorkerCrashError,
+    error_severity,
 )
 from repro.experiments.figures import FIGURE_TITLES, FigureBuilder, FigureData
 from repro.experiments.export import (
@@ -34,6 +36,7 @@ from repro.experiments.persistence import (
     SweepCheckpoint,
     load_sweep,
     save_sweep,
+    verify_checkpoint,
 )
 from repro.experiments.report import (
     ascii_plot,
@@ -51,6 +54,7 @@ from repro.experiments.runner import (
     PointTrace,
     SweepResult,
     point_seed,
+    retry_backoff,
     run_sweep,
 )
 
@@ -89,5 +93,9 @@ __all__ = [
     "PointCancelledError",
     "WorkerCrashError",
     "CheckpointMismatchError",
+    "CheckpointCorruptError",
+    "error_severity",
+    "verify_checkpoint",
     "point_seed",
+    "retry_backoff",
 ]

@@ -94,6 +94,15 @@ def build_parser():
             "--resource-model, --trace and --timeseries"
         ),
     )
+    what.add_argument(
+        "--verify-checkpoint", metavar="PATH", default=None,
+        help=(
+            "audit a sweep checkpoint file's integrity (header, "
+            "per-line CRC32s) without modifying it, then exit: 0 = "
+            "clean, 1 = corrupt (the report shows the salvageable "
+            "prefix a --resume run would recover)"
+        ),
+    )
     parser.add_argument(
         "--quick", action="store_true",
         help="use the quick statistics profile (3 batches x 12 s)",
@@ -150,6 +159,16 @@ def build_parser():
         help=(
             "with --checkpoint: skip points already recorded and "
             "simulate only the missing ones"
+        ),
+    )
+    resilience.add_argument(
+        "--invariants", choices=["strict", "warn", "off"], default=None,
+        help=(
+            "audit every run's event stream with the runtime "
+            "invariant checker: strict raises at the violating "
+            "event, warn records violations in the diagnostics, off "
+            "disables it (default: the REPRO_INVARIANTS environment "
+            "variable, else off)"
         ),
     )
     parser.add_argument(
@@ -325,7 +344,37 @@ def _trace_option(args):
     )
 
 
+def _verify_checkpoint(path):
+    """The ``--verify-checkpoint`` command: print an audit, set the exit."""
+    from repro.experiments.persistence import verify_checkpoint
+
+    report = verify_checkpoint(path)
+    print(f"checkpoint: {report['path']}")
+    if report["format"] is not None:
+        print(f"  format:        {report['format']}")
+    if report["experiment_id"] is not None:
+        print(f"  experiment:    {report['experiment_id']}")
+    print(f"  point lines:   {report['point_lines']}")
+    print(f"  valid points:  {report['valid_points']}")
+    if report["ok"]:
+        print("  status:        OK (every line intact)")
+        return 0
+    where = (
+        f" at line {report['first_corrupt_line']}"
+        if report["first_corrupt_line"] is not None else ""
+    )
+    print(f"  status:        CORRUPT{where}: {report['detail']}")
+    if report["format"] is not None:
+        print(
+            f"  a --resume run would salvage the first "
+            f"{report['valid_points']} point(s) and repair the file"
+        )
+    return 1
+
+
 def _dispatch(args):
+    if args.verify_checkpoint is not None:
+        return _verify_checkpoint(args.verify_checkpoint)
     run = resolve_run(args)
     if args.single is not None:
         return _run_single(args, run)
@@ -344,6 +393,7 @@ def _dispatch(args):
         workers=args.workers,
         timeseries=args.timeseries,
         trace=_trace_option(args),
+        invariants=args.invariants,
     )
     configs = experiment_configs()
     if args.figure is not None:
@@ -407,6 +457,7 @@ def _run_single(args, run):
         result = run_simulation(
             params, algorithm=args.single, run=run,
             subscribers=tuple(subscribers),
+            invariants=args.invariants,
         )
     finally:
         if sink is not None:

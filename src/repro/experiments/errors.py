@@ -13,6 +13,21 @@ Hierarchy::
     │   ├── PointCancelledError      hung worker cancelled by the parent
     │   └── WorkerCrashError         worker process died mid-point
     └── CheckpointMismatchError      checkpoint belongs to another sweep
+        └── CheckpointCorruptError   checkpoint header unreadable
+
+Every class carries a ``severity`` — the supervision policy knob:
+
+* ``"transient"`` — retrying the point with a fresh seed may succeed
+  (stalls, deadline trips, crashed/cancelled workers). The runner's
+  retry-with-backoff loop only ever consumes transient errors.
+* ``"permanent"`` — retrying the same inputs cannot help (mismatched
+  or corrupt checkpoints, bad configuration); surfaced immediately.
+* ``"fatal"`` — the harness itself is compromised (used by invariant
+  violations, which subclass ``AssertionError`` precisely so no retry
+  or degradation path can swallow them).
+
+:func:`error_severity` classifies arbitrary exceptions under the same
+scheme so the runner can make one policy decision per failure.
 """
 
 __all__ = [
@@ -23,15 +38,26 @@ __all__ = [
     "PointCancelledError",
     "WorkerCrashError",
     "CheckpointMismatchError",
+    "CheckpointCorruptError",
+    "error_severity",
+    "SEVERITIES",
 ]
+
+#: The closed set of severity labels.
+SEVERITIES = ("transient", "permanent", "fatal")
 
 
 class ExperimentError(Exception):
     """Base class for experiment-execution failures."""
 
+    #: Retry policy class attribute; see the module docstring.
+    severity = "permanent"
+
 
 class PointExecutionError(ExperimentError):
     """One sweep point failed (watchdog trip or simulation pathology)."""
+
+    severity = "transient"
 
 
 class SimulationStalledError(PointExecutionError):
@@ -111,3 +137,31 @@ class CheckpointMismatchError(ExperimentError):
     run configuration must match exactly; anything else would silently
     mix results from different settings.
     """
+
+
+class CheckpointCorruptError(CheckpointMismatchError):
+    """A checkpoint's header is unreadable, so nothing is salvageable.
+
+    Point-line corruption is *recoverable* (the loader salvages the
+    valid prefix and repairs the file); losing the header line is not —
+    the file cannot even be matched to a sweep. Subclasses
+    :class:`CheckpointMismatchError` so existing handlers treat both
+    the same way: stop and let the operator decide.
+    """
+
+
+def error_severity(error):
+    """Classify an exception under the transient/permanent/fatal scheme.
+
+    ``ExperimentError`` subclasses declare their own ``severity``.
+    Outside the taxonomy, ``AssertionError`` (which includes invariant
+    violations) and the interpreter-level emergencies are fatal;
+    anything else is treated as permanent — an unknown error is not a
+    license to retry.
+    """
+    if isinstance(error, ExperimentError):
+        return error.severity
+    if isinstance(error, (AssertionError, MemoryError, SystemExit,
+                          KeyboardInterrupt)):
+        return "fatal"
+    return "permanent"

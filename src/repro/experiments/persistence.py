@@ -25,8 +25,29 @@ the checkpoint and re-running only the missing points::
 
     run_sweep(config, checkpoint="exp3.ckpt.jsonl")            # killed...
     run_sweep(config, checkpoint="exp3.ckpt.jsonl", resume=True)
+
+Crash safety (format v2):
+
+* Whole-file writes (:func:`save_sweep`, the checkpoint header) go
+  through :func:`atomic_write_text` — tmp file in the same directory,
+  flush + fsync, then ``os.replace`` — so a kill mid-write can never
+  destroy the previous good file, and an fsync failure abandons the
+  tmp file instead of publishing unsynced data.
+* Every checkpoint line carries a CRC32 suffix
+  (``<json>\\t#crc32:<8 hex>``). Loading salvages the longest valid
+  prefix: the first torn, garbled or CRC-mismatched line ends the
+  salvage, everything before it is restored, and (on resume) the file
+  is repaired by truncating the corrupt tail so subsequent appends
+  start on a clean line boundary.
+* :func:`verify_checkpoint` is the read-only auditor behind the CLI's
+  ``--verify-checkpoint``: it reports the salvageable prefix without
+  modifying the file.
+
+Legacy v1 checkpoints (no CRC suffixes) still load; their lines are
+validated by JSON decoding alone.
 """
 
+import binascii
 import json
 import os
 from dataclasses import asdict
@@ -34,15 +55,86 @@ from dataclasses import asdict
 from repro.core import RunConfig
 from repro.core.simulation import SimulationResult
 from repro.experiments.configs import experiment_configs
-from repro.experiments.errors import CheckpointMismatchError
+from repro.experiments.errors import (
+    CheckpointCorruptError,
+    CheckpointMismatchError,
+)
 from repro.experiments.runner import PointStatus, SweepResult
 from repro.stats import BatchMeansAnalyzer
 
 #: Format marker for forward compatibility.
 FORMAT = "repro-sweep-v1"
 
-#: Format marker of the incremental checkpoint file.
-CHECKPOINT_FORMAT = "repro-sweep-checkpoint-v1"
+#: Format marker of the incremental checkpoint file (v2 = CRC lines).
+CHECKPOINT_FORMAT = "repro-sweep-checkpoint-v2"
+
+#: Older checkpoint formats load_into still accepts (without CRCs).
+LEGACY_CHECKPOINT_FORMATS = ("repro-sweep-checkpoint-v1",)
+
+#: Separator between a line's JSON payload and its CRC32 suffix.
+CRC_SEPARATOR = "\t#crc32:"
+
+#: Seam for fault injection (repro.chaos.FlakyFsync) and tests.
+_fsync = os.fsync
+
+
+def atomic_write_text(path, text):
+    """Write ``text`` to ``path`` atomically (tmp + fsync + replace).
+
+    The tmp file lives in the target's directory so the final
+    ``os.replace`` is a same-filesystem rename — atomic on POSIX. A
+    crash or fsync failure at any earlier step leaves ``path``
+    untouched (the tmp file is removed best-effort and the error
+    propagates).
+    """
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "w") as f:
+            f.write(text)
+            f.flush()
+            _fsync(f.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def encode_checkpoint_line(document):
+    """One checkpoint line: compact JSON plus its CRC32 suffix."""
+    text = json.dumps(document)
+    crc = binascii.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+    return f"{text}{CRC_SEPARATOR}{crc:08x}\n"
+
+
+def decode_checkpoint_line(raw, require_crc=True):
+    """Parse one checkpoint line, verifying its CRC32 suffix.
+
+    Raises ``ValueError`` on a CRC mismatch, undecodable JSON, or (with
+    ``require_crc``) a missing suffix. ``require_crc=False`` accepts
+    bare JSON lines — the legacy v1 layout.
+    """
+    raw = raw.rstrip("\n")
+    text, separator, suffix = raw.rpartition(CRC_SEPARATOR)
+    if not separator:
+        if require_crc:
+            raise ValueError("checkpoint line has no CRC32 suffix")
+        return json.loads(raw)
+    try:
+        expected = int(suffix, 16)
+    except ValueError:
+        raise ValueError(
+            f"malformed CRC32 suffix {suffix!r}"
+        ) from None
+    actual = binascii.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+    if actual != expected:
+        raise ValueError(
+            f"CRC32 mismatch: line says {expected:08x}, "
+            f"content is {actual:08x}"
+        )
+    return json.loads(text)
 
 
 def _point_payload(result):
@@ -107,7 +199,11 @@ def _status_from_document(document):
 
 
 def save_sweep(sweep, path):
-    """Serialize a sweep (config id, run settings, all batch series)."""
+    """Serialize a sweep (config id, run settings, all batch series).
+
+    The write is atomic: a kill mid-save leaves any previous file at
+    ``path`` exactly as it was.
+    """
     document = {
         "format": FORMAT,
         "experiment_id": sweep.config.experiment_id,
@@ -130,8 +226,7 @@ def save_sweep(sweep, path):
             for (algorithm, mpl), status in sorted(sweep.statuses.items())
         ],
     }
-    with open(path, "w") as f:
-        json.dump(document, f)
+    atomic_write_text(path, json.dumps(document))
     return path
 
 
@@ -176,20 +271,25 @@ def load_sweep(path):
 
 
 class SweepCheckpoint:
-    """Append-only per-point checkpoint of one sweep (JSONL).
+    """Append-only per-point checkpoint of one sweep (JSONL + CRC).
 
     Line 1 is a header binding the file to (experiment id, run config);
     each further line records one completed point — its status always,
-    its measurement payload when it succeeded.  Writes are flushed and
-    fsynced so a killed process loses at most the in-flight point; a
-    truncated trailing line (the kill arrived mid-write) is ignored on
-    load.
+    its measurement payload when it succeeded.  Every line carries a
+    CRC32 suffix.  Writes are flushed and fsynced so a killed process
+    loses at most the in-flight point; the header itself is written
+    atomically.  On load, the longest valid prefix is salvaged: a
+    torn trailing line (kill mid-write) or a corrupted record ends the
+    restore, and the corrupt tail is truncated away so resumed appends
+    start on a clean line boundary.
     """
 
     def __init__(self, path, config, run):
         self.path = path
         self.config = config
         self.run = run
+        #: Lines dropped by the last load_into's salvage (0 = clean).
+        self.salvage_dropped = 0
 
     def exists(self):
         return os.path.exists(self.path)
@@ -202,7 +302,7 @@ class SweepCheckpoint:
         return getattr(self.config.params, "resource_model", "classic")
 
     def start_fresh(self):
-        """Truncate and write the header line."""
+        """Atomically (re)create the file holding only the header line."""
         header = {
             "format": CHECKPOINT_FORMAT,
             "experiment_id": self.config.experiment_id,
@@ -210,10 +310,7 @@ class SweepCheckpoint:
             "faults": self._faults_signature(),
             "resource_model": self._resource_model(),
         }
-        with open(self.path, "w") as f:
-            f.write(json.dumps(header) + "\n")
-            f.flush()
-            os.fsync(f.fileno())
+        atomic_write_text(self.path, encode_checkpoint_line(header))
 
     def record(self, algorithm, mpl, result, status):
         """Append one completed point (result is None for failures)."""
@@ -225,27 +322,18 @@ class SweepCheckpoint:
         if result is not None:
             line.update(_point_payload(result))
         with open(self.path, "a") as f:
-            f.write(json.dumps(line) + "\n")
+            f.write(encode_checkpoint_line(line))
             f.flush()
-            os.fsync(f.fileno())
+            _fsync(f.fileno())
 
-    def load_into(self, sweep):
-        """Restore recorded points into ``sweep``; returns their count.
-
-        Raises :class:`CheckpointMismatchError` unless the header's
-        experiment id and run configuration match this sweep exactly —
-        resuming replays points verbatim, so a mismatch would silently
-        mix results from different settings.
-        """
-        with open(self.path) as f:
-            lines = f.read().splitlines()
-        if not lines:
-            return 0
-        header = json.loads(lines[0])
-        if header.get("format") != CHECKPOINT_FORMAT:
+    def _check_header(self, header):
+        """Raise CheckpointMismatchError unless the header matches."""
+        header_format = header.get("format")
+        if (header_format != CHECKPOINT_FORMAT
+                and header_format not in LEGACY_CHECKPOINT_FORMATS):
             raise CheckpointMismatchError(
                 f"{self.path}: not a sweep checkpoint "
-                f"(format {header.get('format')!r})"
+                f"(format {header_format!r})"
             )
         if header.get("experiment_id") != self.config.experiment_id:
             raise CheckpointMismatchError(
@@ -272,12 +360,54 @@ class SweepCheckpoint:
                 f"{header.get('resource_model', 'classic')!r} does not "
                 f"match {self._resource_model()!r}"
             )
+
+    def load_into(self, sweep, repair=True):
+        """Restore recorded points into ``sweep``; returns their count.
+
+        Raises :class:`CheckpointMismatchError` unless the header's
+        experiment id and run configuration match this sweep exactly —
+        resuming replays points verbatim, so a mismatch would silently
+        mix results from different settings — and
+        :class:`CheckpointCorruptError` when the header itself cannot
+        be read (nothing is salvageable without it).
+
+        Point lines are restored up to the first invalid one (torn,
+        garbled, or CRC-mismatched); ``salvage_dropped`` records how
+        many lines the salvage discarded. With ``repair`` (the
+        default), the corrupt tail is truncated off the file so later
+        appends start on a clean line boundary — without it the file
+        is left untouched (read-only auditing).
+        """
+        self.salvage_dropped = 0
+        with open(self.path, "rb") as f:
+            text = f.read().decode("utf-8", errors="replace")
+        lines = text.splitlines(keepends=True)
+        if not lines:
+            return 0
+        try:
+            header = decode_checkpoint_line(lines[0], require_crc=False)
+        except ValueError as error:
+            raise CheckpointCorruptError(
+                f"{self.path}: checkpoint header is corrupt ({error}); "
+                f"nothing is salvageable without it — delete the file "
+                f"or re-run without --resume"
+            ) from None
+        self._check_header(header)
+        require_crc = header.get("format") == CHECKPOINT_FORMAT
+        valid_bytes = len(lines[0].encode("utf-8"))
         restored = 0
         for raw in lines[1:]:
+            # A line without its newline is a torn tail by definition:
+            # even if its content decodes, appending after it would
+            # merge records, so the salvage stops before it.
+            if not raw.endswith("\n"):
+                break
             try:
-                point = json.loads(raw)
-            except json.JSONDecodeError:
-                break  # truncated trailing line from a mid-write kill
+                point = decode_checkpoint_line(
+                    raw, require_crc=require_crc
+                )
+            except ValueError:
+                break
             algorithm, mpl = point["algorithm"], point["mpl"]
             status = _status_from_document(point["status"])
             sweep.statuses[(algorithm, mpl)] = status
@@ -288,7 +418,75 @@ class SweepCheckpoint:
                     diagnostics=point.get("diagnostics"),
                 )
             restored += 1
+            valid_bytes += len(raw.encode("utf-8"))
+        self.salvage_dropped = max(0, len(lines) - 1 - restored)
+        if repair and self.salvage_dropped:
+            with open(self.path, "r+b") as f:
+                f.truncate(valid_bytes)
+                _fsync(f.fileno())
         return restored
+
+
+def verify_checkpoint(path):
+    """Read-only integrity audit of a checkpoint file.
+
+    Returns a report dict: ``ok`` (every line valid), ``format`` and
+    ``experiment_id`` from the header (None when the header is
+    unreadable), ``point_lines``, ``valid_points`` (the salvageable
+    prefix), ``first_corrupt_line`` (1-based line number, None when
+    clean) and ``detail`` describing the first problem found. Never
+    modifies the file.
+    """
+    report = {
+        "path": path,
+        "ok": False,
+        "format": None,
+        "experiment_id": None,
+        "point_lines": 0,
+        "valid_points": 0,
+        "first_corrupt_line": None,
+        "detail": None,
+    }
+    try:
+        with open(path, "rb") as f:
+            text = f.read().decode("utf-8", errors="replace")
+    except OSError as error:
+        report["detail"] = str(error)
+        return report
+    lines = text.splitlines(keepends=True)
+    if not lines:
+        report["detail"] = "empty file (no header line)"
+        return report
+    try:
+        header = decode_checkpoint_line(lines[0], require_crc=False)
+        report["format"] = header.get("format")
+        report["experiment_id"] = header.get("experiment_id")
+    except ValueError as error:
+        report["first_corrupt_line"] = 1
+        report["detail"] = f"header: {error}"
+        return report
+    if (report["format"] != CHECKPOINT_FORMAT
+            and report["format"] not in LEGACY_CHECKPOINT_FORMATS):
+        report["detail"] = (
+            f"not a sweep checkpoint (format {report['format']!r})"
+        )
+        return report
+    require_crc = report["format"] == CHECKPOINT_FORMAT
+    report["point_lines"] = len(lines) - 1
+    for number, raw in enumerate(lines[1:], start=2):
+        if not raw.endswith("\n"):
+            report["first_corrupt_line"] = number
+            report["detail"] = "torn trailing line (no newline)"
+            return report
+        try:
+            decode_checkpoint_line(raw, require_crc=require_crc)
+        except ValueError as error:
+            report["first_corrupt_line"] = number
+            report["detail"] = str(error)
+            return report
+        report["valid_points"] += 1
+    report["ok"] = True
+    return report
 
 
 def _jsonable(value):

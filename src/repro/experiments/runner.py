@@ -21,7 +21,6 @@ import hashlib
 import os
 import sys
 import time
-import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -34,7 +33,6 @@ from repro.experiments.errors import (
     PointDeadlineExceeded,
     PointExecutionError,
     SimulationStalledError,
-    WorkerCrashError,
 )
 from repro.obs import JsonlSink, TimeSeriesSampler
 
@@ -57,6 +55,25 @@ STATUS_FAILED = "failed"
 #: worst case its in-worker deadlines allow, before it declares a
 #: worker wedged (see :func:`_hard_backstop`).
 BACKSTOP_GRACE = 30.0
+
+#: Capped exponential backoff between a point's retry attempts:
+#: ``min(CAP, BASE * 2**(attempt-1)) * jitter`` with jitter in
+#: [0.5, 1.5) derived deterministically from the attempt's seed (see
+#: :func:`retry_backoff`). Small base — retries usually follow
+#: simulation pathologies, not resource contention — but the cap keeps
+#: a long retry ladder from sleeping unboundedly.
+BACKOFF_BASE = 0.05
+BACKOFF_CAP = 30.0
+
+#: Consecutive worker-pool crashes (BrokenProcessPool) a parallel sweep
+#: absorbs by restarting the pool before it degrades the remaining
+#: points to sequential in-process execution.
+MAX_POOL_RESTARTS = 3
+
+#: Seam for the supervision sleeps (tests patch this; see
+#: :func:`retry_backoff`). Never called on a point's first attempt, so
+#: the default zero-retry path has identical timing to before.
+_sleep = time.sleep
 
 
 def point_seed(seed, algorithm, mpl, attempt):
@@ -82,6 +99,23 @@ def point_seed(seed, algorithm, mpl, attempt):
         return seed
     key = f"{seed}:{algorithm}:{mpl}:{attempt}".encode()
     return int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
+
+
+def retry_backoff(seed, algorithm, mpl, attempt):
+    """Seconds to wait before retry ``attempt`` of one grid point.
+
+    Capped exponential with *deterministic* jitter: the jitter factor
+    (uniform-ish in [0.5, 1.5)) is derived from
+    :func:`point_seed` — a pure function of the grid key and attempt —
+    so two runs of the same sweep back off identically, and distinct
+    points retrying after a shared failure burst don't thunder in
+    lockstep. Attempt 0 (the first try) never waits.
+    """
+    if attempt <= 0:
+        return 0.0
+    base = min(BACKOFF_CAP, BACKOFF_BASE * (2 ** (attempt - 1)))
+    jitter = 0.5 + (point_seed(seed, algorithm, mpl, attempt) % 1024) / 1024.0
+    return min(BACKOFF_CAP, base * jitter)
 
 
 @dataclass(frozen=True)
@@ -298,7 +332,8 @@ def _validate_algorithms(algorithms, workers=1):
 
 
 def _execute_point(config, algorithm, mpl, run, deadline, stall_timeout,
-                   retries, progress=None, timeseries=None, trace=None):
+                   retries, progress=None, timeseries=None, trace=None,
+                   chaos=None, invariants=None, sleep=None):
     """Run one grid point to a (result, status) pair.
 
     This is the unit of work of both execution modes: the sequential
@@ -308,7 +343,16 @@ def _execute_point(config, algorithm, mpl, run, deadline, stall_timeout,
 
     ``timeseries``/``trace`` attach per-point observability subscribers
     (fresh per attempt); a successful point carries their output in
-    ``result.diagnostics``.
+    ``result.diagnostics``.  ``invariants`` is forwarded to
+    :func:`~repro.core.run_simulation` (a strict violation is an
+    ``AssertionError`` subclass, so it is *never* degraded to a failed
+    status — a broken engine must not be retried into silence).
+    ``chaos`` (a :class:`~repro.chaos.ChaosSpec`) is consulted at the
+    top of every attempt, before any simulation work.
+
+    Retry attempts wait :func:`retry_backoff` seconds first (``sleep``
+    overrides the module seam for tests); the first attempt never
+    waits, so zero-retry sweeps are timing-identical to before.
 
     Only supervised failures — watchdog trips and the engine's restart
     livelock detector — are degraded to a failed status; anything else
@@ -322,6 +366,12 @@ def _execute_point(config, algorithm, mpl, run, deadline, stall_timeout,
     sampler = sink = None
     for attempt in range(retries + 1):
         attempts += 1
+        if attempt > 0:
+            delay = retry_backoff(run.seed, algorithm, mpl, attempt)
+            if delay > 0.0:
+                (sleep if sleep is not None else _sleep)(delay)
+        if chaos is not None:
+            chaos.on_point_start(algorithm, mpl)
         attempt_run = run if attempt == 0 else run.with_changes(
             seed=point_seed(run.seed, algorithm, mpl, attempt)
         )
@@ -339,6 +389,7 @@ def _execute_point(config, algorithm, mpl, run, deadline, stall_timeout,
                 run=attempt_run,
                 batch_callback=watchdog,
                 subscribers=subscribers,
+                invariants=invariants,
             )
             break
         except (PointExecutionError, RestartLivelockError) as error:
@@ -384,18 +435,21 @@ def _execute_point(config, algorithm, mpl, run, deadline, stall_timeout,
 
 
 def _point_task(config, algorithm, mpl, run, deadline, stall_timeout,
-                retries, timeseries, trace):
+                retries, timeseries, trace, chaos=None, invariants=None):
     """Worker-process entry point: one point, no parent-side chatter.
 
     Module-level (picklable) by construction; everything it needs
     travels in its arguments, everything it produces travels back in
     the (result, status) return value.  Observability subscribers are
     constructed *inside* the worker (live sinks don't pickle); only the
-    plain-data diagnostics ride back on the result.
+    plain-data diagnostics ride back on the result.  ``chaos`` is a
+    frozen dataclass of plain values, so it pickles into workers too —
+    which is how a ChaosSpec SIGKILLs a *worker* process mid-sweep.
     """
     return _execute_point(
         config, algorithm, mpl, run, deadline, stall_timeout, retries,
-        timeseries=timeseries, trace=trace,
+        timeseries=timeseries, trace=trace, chaos=chaos,
+        invariants=invariants,
     )
 
 
@@ -415,13 +469,6 @@ def _hard_backstop(deadline, retries):
     return deadline * (retries + 1) + BACKSTOP_GRACE
 
 
-def _crash_traceback(error):
-    """Best-effort traceback text of an exception (worker crashes)."""
-    return "".join(
-        traceback.format_exception(type(error), error, error.__traceback__)
-    )
-
-
 def _terminate_workers(executor):
     """Kill a pool's worker processes outright (hung-worker backstop).
 
@@ -434,12 +481,21 @@ def _terminate_workers(executor):
     for process in list(processes.values()):
         try:
             process.terminate()
-        except Exception:  # pragma: no cover - best-effort cleanup
-            pass
+        except (OSError, ValueError) as error:
+            # Best-effort cleanup (the process may already be gone or
+            # its handle closed), but never silent: a worker that
+            # survives here blocks interpreter exit, so the operator
+            # deserves the evidence.
+            print(
+                f"warning: failed to terminate sweep worker "
+                f"pid={getattr(process, 'pid', '?')}: {error}",
+                file=sys.stderr, flush=True,
+            )
 
 
 def _run_parallel(sweep, pending, config, run, deadline, stall_timeout,
-                  retries, workers, progress, ckpt, timeseries, trace):
+                  retries, workers, progress, ckpt, timeseries, trace,
+                  chaos=None, invariants=None):
     """Submit/drain executor for the pending grid points.
 
     The parent is the only process that touches the checkpoint or the
@@ -447,21 +503,42 @@ def _run_parallel(sweep, pending, config, run, deadline, stall_timeout,
     parent flushes each to the checkpoint as its future completes, so
     PR 1's resume semantics survive unchanged (the JSONL line order is
     completion order, which the loader never relied on).
+
+    Returns the grid keys left *unrecorded* because the worker pool
+    broke (a worker SIGKILLed or segfaulted poisons the whole
+    ``ProcessPoolExecutor``): the supervisor re-runs exactly those —
+    with their untouched attempt-0 seeds, so recovery is
+    byte-identical to a crash-free sweep. An empty list means the
+    drain ran to completion or the hung-worker backstop tripped
+    (backstop cancellations are recorded failed, and never-started
+    points deliberately left unattempted for ``--resume``).
     """
     total = len(pending)
     completed = 0
     backstop = _hard_backstop(deadline, retries)
     executor = ProcessPoolExecutor(max_workers=min(workers, total))
+    broken = False
     try:
         futures = {}
+        unsubmitted = []
         for algorithm, mpl in pending:
-            future = executor.submit(
-                _point_task, config, algorithm, mpl, run,
-                deadline, stall_timeout, retries, timeseries, trace,
-            )
+            if broken:
+                unsubmitted.append((algorithm, mpl))
+                continue
+            try:
+                future = executor.submit(
+                    _point_task, config, algorithm, mpl, run,
+                    deadline, stall_timeout, retries, timeseries,
+                    trace, chaos, invariants,
+                )
+            except BrokenProcessPool:
+                broken = True
+                unsubmitted.append((algorithm, mpl))
+                continue
             futures[future] = (algorithm, mpl)
+        crashed = []
         outstanding = set(futures)
-        while outstanding:
+        while outstanding and not broken:
             done, outstanding = wait(
                 outstanding, timeout=backstop,
                 return_when=FIRST_COMPLETED,
@@ -477,21 +554,19 @@ def _run_parallel(sweep, pending, config, run, deadline, stall_timeout,
                     progress, config,
                 )
                 _terminate_workers(executor)
-                break
+                return []
             for future in done:
                 algorithm, mpl = futures[future]
                 try:
                     result, status = future.result()
-                except BrokenProcessPool as error:
-                    result = None
-                    crash = WorkerCrashError(
-                        algorithm, mpl, _crash_traceback(error)
-                    )
-                    status = PointStatus(
-                        status=STATUS_FAILED,
-                        attempts=1,
-                        error=f"WorkerCrashError: {crash}",
-                    )
+                except BrokenProcessPool:
+                    # Don't record anything: a recorded failure would
+                    # survive into the checkpoint and a resumed sweep
+                    # would keep it, losing the point forever. The
+                    # supervisor re-runs it instead.
+                    broken = True
+                    crashed.append((algorithm, mpl))
+                    continue
                 completed += 1
                 _record_point(
                     sweep, (algorithm, mpl), result, status, ckpt
@@ -511,8 +586,60 @@ def _run_parallel(sweep, pending, config, run, deadline, stall_timeout,
                             f"{status.attempts} attempt(s) "
                             f"({status.error})"
                         )
+        if not broken:
+            return []
+        unfinished = set(crashed) | set(unsubmitted)
+        unfinished.update(futures[future] for future in outstanding)
+        _terminate_workers(executor)
+        # Original grid order, so the supervisor's re-submission (and
+        # any sequential degradation) visits points deterministically.
+        return [key for key in pending if key in unfinished]
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _supervise_parallel(sweep, pending, config, run, deadline,
+                        stall_timeout, retries, workers, progress, ckpt,
+                        timeseries, trace, chaos=None, invariants=None):
+    """Parallel execution with pool-crash supervision.
+
+    Each :func:`_run_parallel` drain that ends in a broken pool hands
+    back its unrecorded points; this loop restarts a fresh pool for
+    them.  A crash-with-progress resets the streak (the sweep is
+    moving; keep the parallelism), while :data:`MAX_POOL_RESTARTS`
+    *consecutive* no-progress crashes degrade the remainder to
+    sequential in-process execution — returned to the caller, whose
+    sequential loop is the degradation path. Returns ``[]`` when the
+    parallel drain finished everything.
+    """
+    remaining = list(pending)
+    streak = 0
+    while remaining:
+        before = len(remaining)
+        remaining = _run_parallel(
+            sweep, remaining, config, run, deadline, stall_timeout,
+            retries, workers, progress, ckpt, timeseries, trace,
+            chaos=chaos, invariants=invariants,
+        )
+        if not remaining:
+            return []
+        streak = 0 if len(remaining) < before else streak + 1
+        if streak >= MAX_POOL_RESTARTS:
+            if progress is not None:
+                progress(
+                    f"  {config.experiment_id}: worker pool crashed "
+                    f"{MAX_POOL_RESTARTS} times without progress; "
+                    f"degrading {len(remaining)} remaining point(s) "
+                    f"to sequential in-process execution"
+                )
+            return remaining
+        if progress is not None:
+            progress(
+                f"  {config.experiment_id}: worker pool crashed; "
+                f"restarting it for {len(remaining)} remaining "
+                f"point(s)"
+            )
+    return []
 
 
 def _cancel_outstanding(sweep, futures, outstanding, backstop, ckpt,
@@ -551,7 +678,7 @@ def _record_point(sweep, key, result, status, ckpt):
 def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
               progress=None, deadline=None, stall_timeout=None,
               retries=0, checkpoint=None, resume=False, workers=1,
-              timeseries=None, trace=None):
+              timeseries=None, trace=None, invariants=None, chaos=None):
     """Run every (algorithm, mpl) point of ``config``.
 
     ``mpls``/``algorithms`` restrict the sweep (benchmarks use a subset
@@ -603,6 +730,28 @@ def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
     * ``trace`` — a :class:`PointTrace` (or a directory path, which
       becomes ``PointTrace(directory)``); each point streams its
       instrumentation-bus events to one JSONL file in that directory.
+
+    Robustness controls:
+
+    * ``invariants`` — ``"strict"``/``"warn"``/``"off"``/None; every
+      point attaches an :class:`~repro.obs.InvariantChecker` auditing
+      the engine's event stream (None defers to ``REPRO_INVARIANTS``,
+      then off). Strict violations raise — they are AssertionErrors,
+      exempt from retry/degradation by design.
+    * ``chaos`` — a :class:`~repro.chaos.ChaosSpec` of harness-level
+      faults (SIGKILL / hang a process at a named grid point, one-shot
+      each), consulted at the top of every attempt. Test machinery:
+      chaos decides when processes die, never what the model computes.
+
+    Supervision semantics in parallel mode: retry attempts back off
+    :func:`retry_backoff` seconds (capped exponential, deterministic
+    jitter); a broken worker pool (a worker SIGKILLed, segfaulted or
+    OOM-killed poisons the whole executor) is restarted and only the
+    *unrecorded* points re-submitted with their original seeds — so a
+    crashed-and-recovered sweep is byte-identical to a crash-free one;
+    after :data:`MAX_POOL_RESTARTS` consecutive crashes without
+    progress the remaining points degrade to sequential in-process
+    execution.
 
     Only supervised failures (watchdog trips and the engine's
     zero-delay restart-livelock detector,
@@ -666,22 +815,26 @@ def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
     ]
     started = time.perf_counter()
     if workers > 1 and len(pending) > 1:
-        _run_parallel(
+        # Whatever the supervisor could not finish in parallel (pool
+        # crashing repeatedly) falls through to the sequential loop —
+        # one code path for normal runs and degraded ones.
+        pending = _supervise_parallel(
             sweep, pending, config, run, deadline, stall_timeout,
             retries, workers, progress, ckpt, timeseries, trace,
+            chaos=chaos, invariants=invariants,
         )
-    else:
-        for algorithm, mpl in pending:
-            result, status = _execute_point(
-                config, algorithm, mpl, run, deadline, stall_timeout,
-                retries, progress=progress,
-                timeseries=timeseries, trace=trace,
+    for algorithm, mpl in pending:
+        result, status = _execute_point(
+            config, algorithm, mpl, run, deadline, stall_timeout,
+            retries, progress=progress,
+            timeseries=timeseries, trace=trace,
+            chaos=chaos, invariants=invariants,
+        )
+        if result is not None and progress is not None:
+            progress(
+                f"  {config.experiment_id}: {result.describe()}"
             )
-            if result is not None and progress is not None:
-                progress(
-                    f"  {config.experiment_id}: {result.describe()}"
-                )
-            _record_point(sweep, (algorithm, mpl), result, status, ckpt)
+        _record_point(sweep, (algorithm, mpl), result, status, ckpt)
     sweep.wall_seconds = time.perf_counter() - started
     return sweep
 

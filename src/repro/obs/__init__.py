@@ -12,6 +12,13 @@ subscriber protocol, and the overhead guarantees.
 
 from repro.obs import events
 from repro.obs.bus import InstrumentationBus
+from repro.obs.invariants import (
+    INVARIANT_MODES,
+    InvariantChecker,
+    InvariantViolation,
+    InvariantViolationError,
+    resolve_invariant_mode,
+)
 from repro.obs.events import (
     ALL_KINDS,
     BUFFER_KINDS,
@@ -33,6 +40,11 @@ from repro.obs.timeseries import SAMPLE_FIELDS, TimeSeriesSampler
 
 __all__ = [
     "InstrumentationBus",
+    "InvariantChecker",
+    "InvariantViolation",
+    "InvariantViolationError",
+    "INVARIANT_MODES",
+    "resolve_invariant_mode",
     "Subscriber",
     "MetricsSubscriber",
     "TraceSubscriber",

@@ -7,7 +7,6 @@ a wedged worker is cancelled by the parent backstop instead of hanging
 the sweep.
 """
 
-import json
 import multiprocessing
 import time
 
@@ -25,6 +24,7 @@ from repro.experiments import (
     run_sweep,
 )
 from repro.experiments import runner as runner_module
+from repro.experiments.persistence import decode_checkpoint_line
 
 TINY_RUN = RunConfig(batches=2, batch_time=5.0, warmup_batches=0, seed=11)
 
@@ -82,7 +82,7 @@ def checkpoint_points(path):
     with open(path) as f:
         lines = f.read().splitlines()
     for raw in lines[1:]:
-        line = json.loads(raw)
+        line = decode_checkpoint_line(raw)
         line["status"] = {
             k: v for k, v in line["status"].items()
             if k != "wall_seconds"
@@ -211,7 +211,7 @@ class TestKilledSweepResume:
         # re-run or rewritten, and only the missing ones were added.
         assert after.startswith(before)
         appended = [
-            json.loads(raw) for raw in
+            decode_checkpoint_line(raw) for raw in
             after[len(before):].splitlines()
         ]
         assert sorted(

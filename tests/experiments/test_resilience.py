@@ -27,6 +27,7 @@ from repro.experiments import (
     sweep_report,
 )
 from repro.experiments import runner as runner_module
+from repro.experiments.persistence import decode_checkpoint_line
 from repro.experiments.runner import _PointWatchdog
 
 TINY_RUN = RunConfig(batches=2, batch_time=5.0, warmup_batches=0, seed=11)
@@ -282,7 +283,7 @@ class TestCheckpointResume:
         run_sweep(tiny_config(), run=TINY_RUN, mpls=[5], checkpoint=path)
         with open(path) as f:
             lines = f.read().splitlines()
-        points = [json.loads(line) for line in lines[1:]]
+        points = [decode_checkpoint_line(line) for line in lines[1:]]
         assert [p["mpl"] for p in points] == [5]
 
     def test_mismatched_run_config_rejected(self, tmp_path):
@@ -318,7 +319,9 @@ class TestCheckpointResume:
         )
         run_sweep(buffered, run=TINY_RUN, mpls=[2], checkpoint=path)
         with open(path) as f:
-            header = json.loads(f.readline())
+            header = decode_checkpoint_line(
+                f.readline(), require_crc=False
+            )
         assert header["resource_model"] == "buffered"
         # Same model resumes cleanly and keeps the recorded point.
         resumed = run_sweep(buffered, run=TINY_RUN, mpls=[2],
@@ -326,16 +329,22 @@ class TestCheckpointResume:
         assert resumed.status("blocking", 2).status == STATUS_OK
 
     def test_header_without_resource_model_means_classic(self, tmp_path):
-        # Checkpoints written before the resource-model layer have no
-        # header key; they must still resume under the classic model.
+        # Legacy (v1) checkpoints predate both the resource-model layer
+        # and per-line CRCs: no resource_model header key, bare JSON
+        # lines. They must still resume under the classic model.
         path = str(tmp_path / "tiny.ckpt.jsonl")
         run_sweep(tiny_config(), run=TINY_RUN, mpls=[2], checkpoint=path)
         with open(path) as f:
             lines = f.read().splitlines()
-        header = json.loads(lines[0])
+        header = decode_checkpoint_line(lines[0], require_crc=False)
         del header["resource_model"]
+        header["format"] = "repro-sweep-checkpoint-v1"
+        points = [
+            decode_checkpoint_line(line) for line in lines[1:]
+        ]
         with open(path, "w") as f:
-            f.write("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+            for document in [header] + points:
+                f.write(json.dumps(document) + "\n")
         resumed = run_sweep(tiny_config(), run=TINY_RUN, mpls=[2],
                             checkpoint=path, resume=True)
         assert resumed.status("blocking", 2).status == STATUS_OK
