@@ -1,0 +1,92 @@
+"""End-to-end sweep benchmarks: classic lane vs batched fast lane.
+
+Replication ``r`` of a point is the ``r``-th ``batches``-sized segment
+of one seeded trajectory, so the classic lane — one ``run_simulation``
+per replication — re-simulates the trajectory prefix as warmup and
+spends ``R*w + B*R*(R+1)/2`` batch-units per point, while the batched
+lane simulates ``w + R*B`` once and carves every replication from it.
+The wall-clock ratio is therefore bounded by that unit ratio: about
+``(R+1)/2`` when measurement dominates warmup and ``R`` when warmup
+dominates — roughly **3x at R=4** on the acceptance grid below, and
+growing without bound in ``R`` (>=5x from R~=8, >=10x from R~=18).
+Tape sharing adds a few percent on top by drawing each workload
+sequence once per sweep instead of once per replication run.
+
+``check_bench_regression.py`` gates the two ``batched`` benchmarks
+against ``BENCH_sweep.json`` and reports the measured classic/batched
+speedups; the classic-lane runs exist as the speedup denominators and
+as a canary for regressions in the ordinary sequential driver.
+"""
+
+from repro.core import RunConfig, SimulationParameters
+from repro.experiments import ExperimentConfig, run_sweep
+
+PARAMS = SimulationParameters(
+    db_size=200, min_size=4, max_size=8, write_prob=0.25,
+    num_terms=10, mpl=5, ext_think_time=0.5,
+    obj_io=0.010, obj_cpu=0.005, num_cpus=1, num_disks=2,
+)
+ALGORITHMS = ("blocking", "immediate_restart", "optimistic")
+
+#: The acceptance grid: 3 algorithms x 5 mpls x 4 replications.
+MPLS = (2, 4, 6, 8, 10)
+RUN = RunConfig(batches=2, batch_time=5.0, warmup_batches=1, seed=31)
+
+#: The many-replication shape (variance studies): 12 segments per
+#: point on a narrower grid, where the fused lane's asymptotics show.
+DEEP_MPLS = (8,)
+DEEP_REPLICATIONS = 12
+
+
+def _config():
+    return ExperimentConfig(
+        experiment_id="bench-sweep",
+        title="Sweep backend benchmark",
+        figures=(0,),
+        params=PARAMS,
+        algorithms=ALGORITHMS,
+        mpls=MPLS,
+        metrics=("throughput",),
+    )
+
+
+def _sweep(backend, replications, mpls=MPLS):
+    sweep = run_sweep(
+        _config(), run=RUN, mpls=mpls,
+        backend=backend, replications=replications,
+    )
+    assert all(
+        status.status == "ok"
+        for status in sweep.replicate_statuses.values()
+    )
+    return sweep
+
+
+def test_sweep_classic_lane_r4(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: _sweep("classic", 4), rounds=1, iterations=1
+    )
+    assert len(sweep.replicate_statuses) == 3 * 5 * 4
+
+
+def test_sweep_batched_lane_r4(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: _sweep("batched", 4), rounds=1, iterations=1
+    )
+    assert len(sweep.replicate_statuses) == 3 * 5 * 4
+
+
+def test_sweep_classic_lane_r12(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: _sweep("classic", DEEP_REPLICATIONS, mpls=DEEP_MPLS),
+        rounds=1, iterations=1,
+    )
+    assert len(sweep.replicate_statuses) == 3 * DEEP_REPLICATIONS
+
+
+def test_sweep_batched_lane_r12(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: _sweep("batched", DEEP_REPLICATIONS, mpls=DEEP_MPLS),
+        rounds=1, iterations=1,
+    )
+    assert len(sweep.replicate_statuses) == 3 * DEEP_REPLICATIONS

@@ -1,31 +1,54 @@
-"""Compare a pytest-benchmark JSON against the checked-in baseline.
+"""Compare a pytest-benchmark JSON against a checked-in baseline.
 
-CI runs ``bench_engine_micro.py`` into ``bench_engine_ci.json`` and then
-calls this script, which diffs every benchmark against
-``BENCH_engine.json`` at the repository root and **fails** when the
-gated end-to-end benchmark (``test_full_model_bus_fast_path``) is more
-than ``--threshold`` slower than the baseline. The other
-microbenchmarks are reported but only warn: they measure narrow slices
-whose variance on shared CI runners would make a hard gate flaky,
-while the full-model run averages over enough work to be stable.
+CI runs ``bench_engine_micro.py`` into ``bench_engine_ci.json`` and
+``bench_sweep.py`` into ``bench_sweep_ci.json``, then calls this script
+once per file, which diffs every benchmark against the pinned baseline
+(``BENCH_engine.json`` / ``BENCH_sweep.json`` at the repository root)
+and **fails** when a gated benchmark is more than ``--threshold``
+slower than the baseline. Gated are the end-to-end runs — the
+full-model engine benchmark and the two batched-lane sweep benchmarks
+— which average over enough work to be stable on shared runners; the
+narrower microbenchmarks and the classic-lane speedup denominators are
+reported but only warn.
+
+For the sweep benchmarks the script also reports the measured
+classic/batched speedup per grid shape, so the fast lane's advantage
+is visible (and its erosion detectable) in every CI log.
 
 Usage::
 
     python benchmarks/check_bench_regression.py bench_engine_ci.json \
         [--baseline BENCH_engine.json] [--threshold 0.10]
+    python benchmarks/check_bench_regression.py bench_sweep_ci.json \
+        --baseline BENCH_sweep.json
 
 Exit status: 0 = within threshold, 1 = gated regression, 2 = bad input
-(missing file, missing benchmark).
+(missing file, no gated benchmark present).
 """
 
 import argparse
 import json
 import sys
 
-#: The benchmark whose regression fails the build. The rest warn only.
-GATED_BENCHMARK = "test_full_model_bus_fast_path"
+#: Benchmarks whose regression fails the build. The rest warn only.
+#: A run needs to contain at least one of these; whichever appear in
+#: both the current run and the baseline are enforced.
+GATED_BENCHMARKS = (
+    "test_full_model_bus_fast_path",
+    "test_sweep_batched_lane_r4",
+    "test_sweep_batched_lane_r12",
+)
 
-#: Default: fail on a >10% slowdown of the gated benchmark.
+#: (classic, batched, label) benchmark pairs whose wall-clock ratio is
+#: reported as a speedup when both sides appear in the current run.
+SPEEDUP_PAIRS = (
+    ("test_sweep_classic_lane_r4", "test_sweep_batched_lane_r4",
+     "3 algorithms x 5 mpls x 4 replications"),
+    ("test_sweep_classic_lane_r12", "test_sweep_batched_lane_r12",
+     "3 algorithms x 1 mpl x 12 replications"),
+)
+
+#: Default: fail on a >10% slowdown of a gated benchmark.
 DEFAULT_THRESHOLD = 0.10
 
 
@@ -39,7 +62,7 @@ def load_means(path):
     }
 
 
-def compare(current, baseline, gated=GATED_BENCHMARK,
+def compare(current, baseline, gated=GATED_BENCHMARKS,
             threshold=DEFAULT_THRESHOLD):
     """Diff two name->mean mappings.
 
@@ -59,7 +82,7 @@ def compare(current, baseline, gated=GATED_BENCHMARK,
         before, after = baseline[name], current[name]
         change = (after - before) / before
         marker = ""
-        if name == gated:
+        if name in gated:
             marker = " [gated]"
             if change > threshold:
                 marker = " [gated: FAIL]"
@@ -71,9 +94,23 @@ def compare(current, baseline, gated=GATED_BENCHMARK,
     return failures, lines
 
 
+def speedup_lines(current, pairs=SPEEDUP_PAIRS):
+    """Classic/batched wall-clock ratios for the pairs present."""
+    lines = []
+    for classic, batched, label in pairs:
+        if classic in current and batched in current:
+            ratio = current[classic] / current[batched]
+            lines.append(
+                f"  batched-lane speedup [{label}]: {ratio:.2f}x "
+                f"({current[classic]:.3f}s classic / "
+                f"{current[batched]:.3f}s batched)"
+            )
+    return lines
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
-        description="Gate CI on engine microbenchmark regressions."
+        description="Gate CI on benchmark regressions vs a pinned baseline."
     )
     parser.add_argument(
         "current", help="pytest-benchmark JSON from this run"
@@ -84,7 +121,7 @@ def main(argv=None):
     )
     parser.add_argument(
         "--threshold", type=float, default=DEFAULT_THRESHOLD,
-        help="fractional slowdown that fails the gated benchmark "
+        help="fractional slowdown that fails a gated benchmark "
              "(default: 0.10)",
     )
     args = parser.parse_args(argv)
@@ -95,10 +132,11 @@ def main(argv=None):
         print(f"bench-gate: cannot load benchmark data: {error}",
               file=sys.stderr)
         return 2
-    if GATED_BENCHMARK not in current:
+    if not any(name in current for name in GATED_BENCHMARKS):
         print(
-            f"bench-gate: gated benchmark {GATED_BENCHMARK!r} missing "
-            f"from {args.current}", file=sys.stderr,
+            f"bench-gate: none of the gated benchmarks "
+            f"({', '.join(GATED_BENCHMARKS)}) appear in {args.current}",
+            file=sys.stderr,
         )
         return 2
     failures, lines = compare(
@@ -107,6 +145,8 @@ def main(argv=None):
     print(f"bench-gate: current={args.current} baseline={args.baseline} "
           f"threshold={args.threshold:.0%}")
     print("\n".join(lines))
+    for line in speedup_lines(current):
+        print(line)
     if failures:
         print(
             f"bench-gate: FAIL — {', '.join(failures)} regressed more "

@@ -128,7 +128,8 @@ class SimulationResult:
 
 def run_simulation(params, algorithm="blocking", run=None, seed=None,
                    record_history=False, batch_callback=None,
-                   tracer=None, subscribers=(), invariants=None):
+                   tracer=None, subscribers=(), invariants=None,
+                   workload=None):
     """Run one configuration to completion using modified batch means.
 
     ``run.warmup_batches`` initial batches are simulated but discarded;
@@ -136,6 +137,14 @@ def run_simulation(params, algorithm="blocking", run=None, seed=None,
     ``seed`` overrides ``run.seed`` when given. With ``record_history``
     the result keeps the model (and its committed history) for
     verification — costs memory, off by default.
+
+    ``workload`` substitutes the model's transaction source (anything
+    with a ``new_transaction(terminal_id)`` method and a ``generated``
+    counter); None builds the default seeded
+    :class:`~repro.core.workload.WorkloadGenerator`. The fast lane
+    passes a :class:`~repro.fastlane.TapeWorkload` here, which replays
+    the byte-identical transaction sequence from a shared precomputed
+    tape.
 
     ``tracer`` (a :class:`~repro.des.TraceRecorder`) and ``subscribers``
     (extra :mod:`repro.obs` consumers, e.g. a
@@ -168,6 +177,7 @@ def run_simulation(params, algorithm="blocking", run=None, seed=None,
         seed=run.seed,
         record_history=record_history,
         tracer=tracer,
+        workload=workload,
         subscribers=subscribers,
     )
     analyzer = BatchMeansAnalyzer(

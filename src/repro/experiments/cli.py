@@ -162,13 +162,16 @@ def build_parser():
         ),
     )
     resilience.add_argument(
-        "--invariants", choices=["strict", "warn", "off"], default=None,
+        "--invariants", choices=["strict", "warn", "off", "spot"],
+        default=None,
         help=(
             "audit every run's event stream with the runtime "
             "invariant checker: strict raises at the violating "
             "event, warn records violations in the diagnostics, off "
-            "disables it (default: the REPRO_INVARIANTS environment "
-            "variable, else off)"
+            "disables it; spot (batched backend only) audits the "
+            "first point of each algorithm strictly and leaves the "
+            "rest unchecked (default: the REPRO_INVARIANTS "
+            "environment variable, else off)"
         ),
     )
     parser.add_argument(
@@ -177,6 +180,26 @@ def build_parser():
             "run sweep points on N worker processes (default: 1 = "
             "sequential; 0 = one per CPU core); results are identical "
             "for any worker count"
+        ),
+    )
+    parser.add_argument(
+        "--backend", choices=["classic", "batched"], default="classic",
+        help=(
+            "sweep execution backend: classic runs every (algorithm, "
+            "mpl, replication) as an independent simulation; batched "
+            "fuses each point's replications into one trajectory and "
+            "shares precomputed workload tapes across points — "
+            "bit-identical per replication, much faster for "
+            "--replications > 1 (default: classic)"
+        ),
+    )
+    parser.add_argument(
+        "--replications", type=int, default=1, metavar="R",
+        help=(
+            "measure every grid point R times; replication r is the "
+            "r-th batches-sized segment of one deterministic "
+            "trajectory, so R=1 (the default) is the classic "
+            "single-measurement sweep"
         ),
     )
     # --inject and --resource-model take registry names; they are NOT
@@ -265,6 +288,32 @@ def main(argv=None):
         )
     if args.workers < 0:
         parser.error(f"--workers must be >= 0, got {args.workers}")
+    if args.replications < 1:
+        parser.error(
+            f"--replications must be >= 1, got {args.replications}"
+        )
+    if args.backend == "batched":
+        if args.workers > 1:
+            parser.error(
+                "--backend batched is single-process; drop --workers "
+                "or use --backend classic"
+            )
+        if args.trace or args.timeseries is not None:
+            parser.error(
+                "--backend batched fuses each point's replications "
+                "into one trajectory; per-point --trace/--timeseries "
+                "require --backend classic"
+            )
+        if args.single is not None:
+            parser.error(
+                "--single runs one diagnostic simulation; --backend "
+                "batched applies to sweeps only"
+            )
+    elif args.invariants == "spot":
+        parser.error(
+            "--invariants spot requires --backend batched "
+            "(use strict/warn/off with the classic backend)"
+        )
     if args.trace_out is not None and not args.trace:
         parser.error("--trace-out requires --trace")
     if args.trace_kinds is not None and not args.trace:
@@ -284,6 +333,11 @@ def main(argv=None):
         parser.error(f"--timeseries must be > 0, got {args.timeseries}")
     if args.timeseries_csv is not None and args.timeseries is None:
         parser.error("--timeseries-csv requires --timeseries")
+    if args.single is not None and args.replications != 1:
+        parser.error(
+            "--replications applies to sweeps; --single runs one "
+            "simulation"
+        )
     if args.single is not None and args.single not in algorithm_names():
         parser.error(
             f"--single: unknown algorithm {args.single!r} "
@@ -394,6 +448,8 @@ def _dispatch(args):
         timeseries=args.timeseries,
         trace=_trace_option(args),
         invariants=args.invariants,
+        backend=args.backend,
+        replications=args.replications,
     )
     configs = experiment_configs()
     if args.figure is not None:

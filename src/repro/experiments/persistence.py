@@ -204,28 +204,54 @@ def save_sweep(sweep, path):
     The write is atomic: a kill mid-save leaves any previous file at
     ``path`` exactly as it was.
     """
-    document = {
-        "format": FORMAT,
-        "experiment_id": sweep.config.experiment_id,
-        "run": asdict(sweep.run),
-        "wall_seconds": sweep.wall_seconds,
-        "points": [
+    if sweep.replications == 1:
+        # The historical layout, byte-identical to earlier versions
+        # (and correct for hand-assembled sweeps that only populate
+        # ``results``/``statuses``).
+        points = [
             {
                 "algorithm": algorithm,
                 "mpl": mpl,
                 **_point_payload(result),
             }
             for (algorithm, mpl), result in sorted(sweep.results.items())
-        ],
-        "statuses": [
+        ]
+        statuses = [
             {
                 "algorithm": algorithm,
                 "mpl": mpl,
                 **_status_document(status),
             }
             for (algorithm, mpl), status in sorted(sweep.statuses.items())
-        ],
+        ]
+    else:
+        points = []
+        for (algorithm, mpl), reps in sorted(sweep.replicates.items()):
+            for rep in sorted(reps):
+                entry = {"algorithm": algorithm, "mpl": mpl}
+                if rep:
+                    entry["rep"] = rep
+                entry.update(_point_payload(reps[rep]))
+                points.append(entry)
+        statuses = []
+        for (algorithm, mpl, rep) in sorted(sweep.replicate_statuses):
+            entry = {"algorithm": algorithm, "mpl": mpl}
+            if rep:
+                entry["rep"] = rep
+            entry.update(_status_document(
+                sweep.replicate_statuses[(algorithm, mpl, rep)]
+            ))
+            statuses.append(entry)
+    document = {
+        "format": FORMAT,
+        "experiment_id": sweep.config.experiment_id,
+        "run": asdict(sweep.run),
+        "wall_seconds": sweep.wall_seconds,
+        "points": points,
+        "statuses": statuses,
     }
+    if sweep.replications != 1:
+        document["replications"] = sweep.replications
     atomic_write_text(path, json.dumps(document))
     return path
 
@@ -254,19 +280,33 @@ def load_sweep(path):
         )
     config = configs[experiment_id]
     run = RunConfig(**document["run"])
-    sweep = SweepResult(config=config, run=run)
+    sweep = SweepResult(
+        config=config, run=run,
+        replications=document.get("replications", 1),
+    )
     sweep.wall_seconds = document.get("wall_seconds", 0.0)
     for point in document["points"]:
-        mpl = point["mpl"]
-        sweep.results[(point["algorithm"], mpl)] = _rebuild_result(
-            point["algorithm"], mpl, point["series"],
+        algorithm, mpl = point["algorithm"], point["mpl"]
+        rep = point.get("rep", 0)
+        result = _rebuild_result(
+            algorithm, mpl, point["series"],
             point.get("totals", {}), config, run,
             diagnostics=point.get("diagnostics"),
         )
+        sweep.replicates.setdefault((algorithm, mpl), {})[rep] = result
+        if rep == 0:
+            sweep.results[(algorithm, mpl)] = result
     for entry in document.get("statuses", []):
-        sweep.statuses[(entry["algorithm"], entry["mpl"])] = (
-            _status_from_document(entry)
-        )
+        pair = (entry["algorithm"], entry["mpl"])
+        status = _status_from_document(entry)
+        sweep.replicate_statuses[(*pair, entry.get("rep", 0))] = status
+        if sweep.replications == 1:
+            sweep.statuses[pair] = status
+    if sweep.replications != 1:
+        for (algorithm, mpl, _) in list(sweep.replicate_statuses):
+            sweep.statuses[(algorithm, mpl)] = (
+                sweep._aggregate_status((algorithm, mpl))
+            )
     return sweep
 
 
@@ -284,10 +324,20 @@ class SweepCheckpoint:
     start on a clean line boundary.
     """
 
-    def __init__(self, path, config, run):
+    def __init__(self, path, config, run, backend="classic",
+                 replications=1):
         self.path = path
         self.config = config
         self.run = run
+        #: Execution backend writing this checkpoint. Both lanes
+        #: produce bit-identical per-replication results, but their
+        #: retry semantics differ (classic reseeds one replication,
+        #: batched reseeds the whole fused point), so a checkpoint
+        #: never silently mixes lanes: the header binds the backend
+        #: and a mismatch on resume raises CheckpointMismatchError.
+        self.backend = backend
+        #: Replications per grid point this sweep was launched with.
+        self.replications = replications
         #: Lines dropped by the last load_into's salvage (0 = clean).
         self.salvage_dropped = 0
 
@@ -309,16 +359,25 @@ class SweepCheckpoint:
             "run": asdict(self.run),
             "faults": self._faults_signature(),
             "resource_model": self._resource_model(),
+            "backend": self.backend,
+            "replications": self.replications,
         }
         atomic_write_text(self.path, encode_checkpoint_line(header))
 
-    def record(self, algorithm, mpl, result, status):
-        """Append one completed point (result is None for failures)."""
+    def record(self, algorithm, mpl, result, status, rep=0):
+        """Append one completed point (result is None for failures).
+
+        ``rep`` is the replication index; 0 is omitted from the line,
+        so non-replicated checkpoints stay byte-identical to the
+        pre-replication layout.
+        """
         line = {
             "algorithm": algorithm,
             "mpl": mpl,
             "status": _status_document(status),
         }
+        if rep:
+            line["rep"] = rep
         if result is not None:
             line.update(_point_payload(result))
         with open(self.path, "a") as f:
@@ -359,6 +418,26 @@ class SweepCheckpoint:
                 f"{self.path}: checkpoint resource model "
                 f"{header.get('resource_model', 'classic')!r} does not "
                 f"match {self._resource_model()!r}"
+            )
+        # Same convention for execution backends: headers written
+        # before the fast lane existed default to the classic backend
+        # explicitly, and any disagreement with the resuming sweep is
+        # an error — the lanes are result-identical but not
+        # retry-identical, so one checkpoint never mixes them.
+        if header.get("backend", "classic") != self.backend:
+            raise CheckpointMismatchError(
+                f"{self.path}: checkpoint was written by the "
+                f"{header.get('backend', 'classic')!r} backend, not "
+                f"{self.backend!r}; resume with the same --backend or "
+                f"start a fresh checkpoint"
+            )
+        if header.get("replications", 1) != self.replications:
+            raise CheckpointMismatchError(
+                f"{self.path}: checkpoint has "
+                f"{header.get('replications', 1)} replication(s) per "
+                f"point, the resuming sweep wants {self.replications}; "
+                f"replications define the trajectory segmentation, so "
+                f"they must match exactly"
             )
 
     def load_into(self, sweep, repair=True):
@@ -409,14 +488,16 @@ class SweepCheckpoint:
             except ValueError:
                 break
             algorithm, mpl = point["algorithm"], point["mpl"]
+            rep = point.get("rep", 0)
             status = _status_from_document(point["status"])
-            sweep.statuses[(algorithm, mpl)] = status
+            result = None
             if "series" in point:
-                sweep.results[(algorithm, mpl)] = _rebuild_result(
+                result = _rebuild_result(
                     algorithm, mpl, point["series"],
                     point.get("totals", {}), self.config, self.run,
                     diagnostics=point.get("diagnostics"),
                 )
+            sweep.record_replicate(algorithm, mpl, rep, result, status)
             restored += 1
             valid_bytes += len(raw.encode("utf-8"))
         self.salvage_dropped = max(0, len(lines) - 1 - restored)

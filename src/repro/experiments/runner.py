@@ -76,45 +76,67 @@ MAX_POOL_RESTARTS = 3
 _sleep = time.sleep
 
 
-def point_seed(seed, algorithm, mpl, attempt):
+def point_seed(seed, algorithm, mpl, attempt, rep=0):
     """The RNG seed of one attempt of one grid point.
 
-    Attempt 0 uses the sweep seed unchanged for *every* point — the
-    common-random-numbers discipline the sequential runner has always
-    used (shared randomness across algorithms and mpls reduces the
-    variance of their differences, which is what the paper's curves
-    compare).  Retry attempts take the first 8 bytes of
-    ``sha256(seed:algorithm:mpl:attempt)``: a full-width stable hash
+    Attempt 0 uses the sweep seed unchanged for *every* point and
+    *every* replication — the common-random-numbers discipline the
+    sequential runner has always used (shared randomness across
+    algorithms, mpls and replications reduces the variance of their
+    differences, which is what the paper's curves compare).
+    Replications don't need their own attempt-0 seeds because a
+    replication is a *segment* of the shared trajectory, selected by
+    extending the warmup, not by reseeding (see :func:`run_sweep`).
+
+    Retry attempts (``attempt >= 1``) take the first 8 bytes of
+    ``sha256(seed:algorithm:mpl:attempt)`` — a full-width stable hash
     of the whole grid key, so distinct points cannot share an attempt
     seed.  (An earlier scheme offset by ``crc32(key) % 7919``, which
     collides whenever two grid keys are congruent modulo the stride —
     colliding points replayed identical retry trajectories, silently
-    correlating their results.)
+    correlating their results.)  A retried replication ``rep > 0``
+    appends ``:rep<r>`` to the hashed key, so two replications of one
+    point retrying after a shared failure cannot collide either;
+    ``rep == 0`` hashes the original key unchanged, preserving every
+    seed minted by earlier versions.
 
-    The value is a pure function of ``(seed, algorithm, mpl,
-    attempt)``: submission order, completion order and worker count
-    never enter, which is what makes parallel sweeps reproducible.
+    The value is a pure function of ``(seed, algorithm, mpl, attempt,
+    rep)``: submission order, completion order and worker count never
+    enter, which is what makes parallel sweeps reproducible.  Negative
+    attempts are a caller bug and raise ``ValueError`` (an earlier
+    version silently hashed them into valid-looking seeds).
     """
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt}")
     if attempt == 0:
         return seed
-    key = f"{seed}:{algorithm}:{mpl}:{attempt}".encode()
-    return int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
+    key = f"{seed}:{algorithm}:{mpl}:{attempt}"
+    if rep:
+        key += f":rep{rep}"
+    return int.from_bytes(hashlib.sha256(key.encode()).digest()[:8], "big")
 
 
-def retry_backoff(seed, algorithm, mpl, attempt):
+def retry_backoff(seed, algorithm, mpl, attempt, rep=0):
     """Seconds to wait before retry ``attempt`` of one grid point.
 
     Capped exponential with *deterministic* jitter: the jitter factor
     (uniform-ish in [0.5, 1.5)) is derived from
-    :func:`point_seed` — a pure function of the grid key and attempt —
-    so two runs of the same sweep back off identically, and distinct
-    points retrying after a shared failure burst don't thunder in
-    lockstep. Attempt 0 (the first try) never waits.
+    :func:`point_seed` — a pure function of the grid key, attempt and
+    replication — so two runs of the same sweep back off identically,
+    and distinct points retrying after a shared failure burst don't
+    thunder in lockstep. Attempt 0 (the initial try, the only attempt
+    a clean point ever makes) returns 0.0: first attempts never wait.
+    Negative attempts raise ``ValueError`` (an earlier version
+    returned 0.0 for them, hiding caller bugs as missing backoffs).
     """
-    if attempt <= 0:
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt}")
+    if attempt == 0:
         return 0.0
     base = min(BACKOFF_CAP, BACKOFF_BASE * (2 ** (attempt - 1)))
-    jitter = 0.5 + (point_seed(seed, algorithm, mpl, attempt) % 1024) / 1024.0
+    jitter = 0.5 + (
+        point_seed(seed, algorithm, mpl, attempt, rep) % 1024
+    ) / 1024.0
     return min(BACKOFF_CAP, base * jitter)
 
 
@@ -205,17 +227,39 @@ class SweepResult:
     the outcome of every attempted point, so partial sweeps stay
     self-describing (a missing (algorithm, mpl) key is distinguishable
     from a failed one).
+
+    With ``replications > 1`` every grid point is measured
+    ``replications`` times (replication ``r`` is the ``r``-th
+    ``run.batches``-sized segment of one deterministic trajectory; see
+    :func:`run_sweep`).  ``results``/``statuses`` keep their historical
+    meaning — replication 0, which is byte-identical to what a
+    non-replicated sweep produces — so every existing consumer
+    (reports, figures, persistence) reads replicated sweeps unchanged;
+    the extra replications live in ``replicates`` and are summarized by
+    :meth:`cross_replication`.
     """
 
     config: object
     run: RunConfig
-    #: (algorithm, mpl) -> SimulationResult
+    #: (algorithm, mpl) -> SimulationResult (replication 0).
     results: Dict[Tuple[str, int], object] = field(default_factory=dict)
-    #: (algorithm, mpl) -> PointStatus (every attempted point).
+    #: (algorithm, mpl) -> PointStatus (every attempted point; the
+    #: aggregate over its replications when replications > 1).
     statuses: Dict[Tuple[str, int], PointStatus] = field(
         default_factory=dict
     )
     wall_seconds: float = 0.0
+    #: Replications requested per grid point (1 = classic behavior).
+    replications: int = 1
+    #: (algorithm, mpl) -> {rep -> SimulationResult} (successes only).
+    replicates: Dict[Tuple[str, int], Dict[int, object]] = field(
+        default_factory=dict
+    )
+    #: (algorithm, mpl, rep) -> PointStatus (every attempted
+    #: replication; the per-rep detail behind ``statuses``).
+    replicate_statuses: Dict[Tuple[str, int, int], PointStatus] = field(
+        default_factory=dict
+    )
 
     def result(self, algorithm, mpl):
         return self.results[(algorithm, mpl)]
@@ -223,6 +267,74 @@ class SweepResult:
     def status(self, algorithm, mpl):
         """The PointStatus of one attempted point (KeyError if never run)."""
         return self.statuses[(algorithm, mpl)]
+
+    def replicate(self, algorithm, mpl, rep=0):
+        """The SimulationResult of one replication of one point."""
+        return self.replicates[(algorithm, mpl)][rep]
+
+    def replicate_means(self, metric, algorithm, mpl):
+        """``metric``'s per-replication means, in replication order."""
+        reps = self.replicates.get((algorithm, mpl), {})
+        return [reps[r].mean(metric) for r in sorted(reps)]
+
+    def cross_replication(self, metric, algorithm, mpl):
+        """``(n, mean, std)`` of ``metric`` across replications.
+
+        ``mean`` averages the per-replication means (each replication
+        is an equal-length batch segment, so this equals the pooled
+        batch mean); ``std`` is their sample standard deviation (0.0
+        for a single replication).
+        """
+        means = self.replicate_means(metric, algorithm, mpl)
+        if not means:
+            raise KeyError(f"no replications for {(algorithm, mpl)}")
+        n = len(means)
+        mean = sum(means) / n
+        if n < 2:
+            return n, mean, 0.0
+        variance = sum((m - mean) ** 2 for m in means) / (n - 1)
+        return n, mean, variance ** 0.5
+
+    def record_replicate(self, algorithm, mpl, rep, result, status):
+        """Fold one finished replication into the sweep's containers.
+
+        The single write path shared by the runner, the batched
+        backend, and checkpoint restore, so the replication-0 aliasing
+        into ``results``/``statuses`` and the per-point aggregation
+        cannot drift between them.
+        """
+        pair = (algorithm, mpl)
+        self.replicate_statuses[(algorithm, mpl, rep)] = status
+        if result is not None:
+            self.replicates.setdefault(pair, {})[rep] = result
+            if rep == 0:
+                self.results[pair] = result
+        if self.replications == 1:
+            self.statuses[pair] = status
+        else:
+            self.statuses[pair] = self._aggregate_status(pair)
+
+    def _aggregate_status(self, pair):
+        """One PointStatus summarizing every recorded rep of ``pair``."""
+        entries = [
+            status
+            for (alg, mpl, _), status in sorted(
+                self.replicate_statuses.items()
+            )
+            if (alg, mpl) == pair
+        ]
+        worst = STATUS_OK
+        if any(s.status == STATUS_FAILED for s in entries):
+            worst = STATUS_FAILED
+        elif any(s.status == STATUS_RETRIED for s in entries):
+            worst = STATUS_RETRIED
+        errors = [s.error for s in entries if s.error is not None]
+        return PointStatus(
+            status=worst,
+            attempts=sum(s.attempts for s in entries),
+            error=errors[-1] if errors else None,
+            wall_seconds=sum(s.wall_seconds for s in entries),
+        )
 
     def failed_points(self):
         """Sorted [(algorithm, mpl)] of points that exhausted retries."""
@@ -331,15 +443,36 @@ def _validate_algorithms(algorithms, workers=1):
             )
 
 
+def _rep_run(run, rep):
+    """The RunConfig measuring replication ``rep`` of a grid point.
+
+    Replication ``r`` is the ``r``-th ``run.batches``-sized segment of
+    the single trajectory seeded by ``run.seed``: the preceding
+    segments become extra warmup, nothing is reseeded.  ``rep == 0``
+    returns ``run`` itself, so non-replicated sweeps build the exact
+    same RunConfig objects as before.
+    """
+    if rep == 0:
+        return run
+    return run.with_changes(
+        warmup_batches=run.warmup_batches + rep * run.batches
+    )
+
+
 def _execute_point(config, algorithm, mpl, run, deadline, stall_timeout,
                    retries, progress=None, timeseries=None, trace=None,
-                   chaos=None, invariants=None, sleep=None):
+                   chaos=None, invariants=None, sleep=None, rep=0):
     """Run one grid point to a (result, status) pair.
 
     This is the unit of work of both execution modes: the sequential
     loop calls it inline (``progress`` reports per-attempt failures);
     parallel workers call it via :func:`_point_task` with ``progress``
-    disabled, since only the parent talks to the user.
+    disabled, since only the parent talks to the user.  ``rep``
+    selects the replication (see :func:`_rep_run`); in this classic
+    lane each replication is an independent simulation that re-runs
+    its trajectory prefix as warmup — the batched backend
+    (:mod:`repro.fastlane`) carves all replications from one
+    trajectory instead.
 
     ``timeseries``/``trace`` attach per-point observability subscribers
     (fresh per attempt); a successful point carries their output in
@@ -364,16 +497,17 @@ def _execute_point(config, algorithm, mpl, run, deadline, stall_timeout,
     failure = None
     attempts = 0
     sampler = sink = None
+    base_run = _rep_run(run, rep)
     for attempt in range(retries + 1):
         attempts += 1
         if attempt > 0:
-            delay = retry_backoff(run.seed, algorithm, mpl, attempt)
+            delay = retry_backoff(run.seed, algorithm, mpl, attempt, rep)
             if delay > 0.0:
                 (sleep if sleep is not None else _sleep)(delay)
         if chaos is not None:
             chaos.on_point_start(algorithm, mpl)
-        attempt_run = run if attempt == 0 else run.with_changes(
-            seed=point_seed(run.seed, algorithm, mpl, attempt)
+        attempt_run = base_run if attempt == 0 else base_run.with_changes(
+            seed=point_seed(run.seed, algorithm, mpl, attempt, rep)
         )
         watchdog = (
             _PointWatchdog(deadline, stall_timeout)
@@ -435,7 +569,8 @@ def _execute_point(config, algorithm, mpl, run, deadline, stall_timeout,
 
 
 def _point_task(config, algorithm, mpl, run, deadline, stall_timeout,
-                retries, timeseries, trace, chaos=None, invariants=None):
+                retries, timeseries, trace, chaos=None, invariants=None,
+                rep=0):
     """Worker-process entry point: one point, no parent-side chatter.
 
     Module-level (picklable) by construction; everything it needs
@@ -449,7 +584,7 @@ def _point_task(config, algorithm, mpl, run, deadline, stall_timeout,
     return _execute_point(
         config, algorithm, mpl, run, deadline, stall_timeout, retries,
         timeseries=timeseries, trace=trace, chaos=chaos,
-        invariants=invariants,
+        invariants=invariants, rep=rep,
     )
 
 
@@ -521,21 +656,21 @@ def _run_parallel(sweep, pending, config, run, deadline, stall_timeout,
     try:
         futures = {}
         unsubmitted = []
-        for algorithm, mpl in pending:
+        for algorithm, mpl, rep in pending:
             if broken:
-                unsubmitted.append((algorithm, mpl))
+                unsubmitted.append((algorithm, mpl, rep))
                 continue
             try:
                 future = executor.submit(
                     _point_task, config, algorithm, mpl, run,
                     deadline, stall_timeout, retries, timeseries,
-                    trace, chaos, invariants,
+                    trace, chaos, invariants, rep,
                 )
             except BrokenProcessPool:
                 broken = True
-                unsubmitted.append((algorithm, mpl))
+                unsubmitted.append((algorithm, mpl, rep))
                 continue
-            futures[future] = (algorithm, mpl)
+            futures[future] = (algorithm, mpl, rep)
         crashed = []
         outstanding = set(futures)
         while outstanding and not broken:
@@ -556,7 +691,7 @@ def _run_parallel(sweep, pending, config, run, deadline, stall_timeout,
                 _terminate_workers(executor)
                 return []
             for future in done:
-                algorithm, mpl = futures[future]
+                algorithm, mpl, rep = futures[future]
                 try:
                     result, status = future.result()
                 except BrokenProcessPool:
@@ -565,24 +700,25 @@ def _run_parallel(sweep, pending, config, run, deadline, stall_timeout,
                     # would keep it, losing the point forever. The
                     # supervisor re-runs it instead.
                     broken = True
-                    crashed.append((algorithm, mpl))
+                    crashed.append((algorithm, mpl, rep))
                     continue
                 completed += 1
                 _record_point(
-                    sweep, (algorithm, mpl), result, status, ckpt
+                    sweep, (algorithm, mpl, rep), result, status, ckpt
                 )
                 if progress is not None:
+                    tag = f" rep={rep}" if rep else ""
                     if result is not None:
                         progress(
                             f"  [{completed}/{total}] "
                             f"{config.experiment_id}: "
-                            f"{result.describe()}"
+                            f"{result.describe()}{tag}"
                         )
                     else:
                         progress(
                             f"  [{completed}/{total}] "
                             f"{config.experiment_id}: {algorithm} "
-                            f"mpl={mpl} failed after "
+                            f"mpl={mpl}{tag} failed after "
                             f"{status.attempts} attempt(s) "
                             f"({status.error})"
                         )
@@ -646,7 +782,7 @@ def _cancel_outstanding(sweep, futures, outstanding, backstop, ckpt,
                         progress, config):
     """Backstop trip: fail in-flight points, drop never-started ones."""
     for future in outstanding:
-        algorithm, mpl = futures[future]
+        algorithm, mpl, rep = futures[future]
         if future.cancel():
             # Never started; leave it unattempted (no status), so a
             # --resume run knows to simulate it.
@@ -658,27 +794,38 @@ def _cancel_outstanding(sweep, futures, outstanding, backstop, ckpt,
             error=f"PointCancelledError: {error}",
             wall_seconds=backstop,
         )
-        _record_point(sweep, (algorithm, mpl), None, status, ckpt)
+        _record_point(sweep, (algorithm, mpl, rep), None, status, ckpt)
         if progress is not None:
+            tag = f" rep={rep}" if rep else ""
             progress(
-                f"  {config.experiment_id}: {algorithm} mpl={mpl} "
+                f"  {config.experiment_id}: {algorithm} mpl={mpl}{tag} "
                 f"cancelled ({error})"
             )
 
 
 def _record_point(sweep, key, result, status, ckpt):
-    """Single-writer bookkeeping for one finished point (parent only)."""
-    if result is not None:
-        sweep.results[key] = result
-    sweep.statuses[key] = status
+    """Single-writer bookkeeping for one finished point (parent only).
+
+    ``key`` is ``(algorithm, mpl, rep)``; the sweep containers and the
+    checkpoint line both carry the replication index (omitted from the
+    line when 0, keeping non-replicated checkpoints byte-identical to
+    earlier formats).
+    """
+    algorithm, mpl, rep = key
+    sweep.record_replicate(algorithm, mpl, rep, result, status)
     if ckpt is not None:
-        ckpt.record(key[0], key[1], result, status)
+        ckpt.record(algorithm, mpl, result, status, rep=rep)
+
+
+#: Execution backends run_sweep understands.
+BACKENDS = ("classic", "batched")
 
 
 def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
               progress=None, deadline=None, stall_timeout=None,
               retries=0, checkpoint=None, resume=False, workers=1,
-              timeseries=None, trace=None, invariants=None, chaos=None):
+              timeseries=None, trace=None, invariants=None, chaos=None,
+              backend="classic", replications=1):
     """Run every (algorithm, mpl) point of ``config``.
 
     ``mpls``/``algorithms`` restrict the sweep (benchmarks use a subset
@@ -686,7 +833,37 @@ def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
     optional callable invoked with a status line after each point
     (``print`` and logging functions both work).
 
-    ``workers`` selects the execution mode:
+    ``replications`` measures every grid point that many times.
+    Replication ``r`` is defined as the ``r``-th ``run.batches``-sized
+    *segment* of the single trajectory seeded by ``run.seed`` — i.e.
+    exactly ``run_simulation(..., run.with_changes(warmup_batches=
+    run.warmup_batches + r * run.batches))`` — so replications extend
+    the trajectory instead of reseeding it (the method of batch means
+    applied across replications; common random numbers survive intact
+    across algorithms, mpls *and* replications). Replication 0 is
+    byte-identical to the single result a non-replicated sweep
+    produces and keeps its historical home in ``SweepResult.results``.
+
+    ``backend`` selects how those points are computed:
+
+    * ``"classic"`` (default) — every (algorithm, mpl, replication) is
+      an independent ``run_simulation`` call (sequential or fanned out
+      over ``workers``). Replication ``r`` re-simulates its trajectory
+      prefix as warmup, so the cost of ``R`` replications grows
+      quadratically with ``R``.
+    * ``"batched"`` — the :mod:`repro.fastlane` backend: one process
+      simulates each point's trajectory **once** (``warmup +
+      R * batches`` batches) and carves all replication results from
+      it, bit-identical per replication to the classic lane; grid
+      points sharing a workload signature additionally share one
+      precomputed transaction tape (see
+      :class:`repro.fastlane.TapeStore`). Requires ``workers=1`` and
+      no per-point ``timeseries``/``trace`` observability (fused
+      trajectories would misattribute their events); accepts
+      ``invariants="spot"``, which audits the first point of each
+      algorithm strictly and leaves the rest unchecked.
+
+    ``workers`` selects the execution mode of the classic backend:
 
     * ``1`` (default) — the classic in-process sequential loop.
     * ``N > 1`` — the grid fans out over ``N`` worker processes; the
@@ -763,6 +940,33 @@ def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
     run = run or DEFAULT_RUN
     if seed is not None:
         run = run.with_changes(seed=seed)
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    if replications < 1:
+        raise ValueError(
+            f"replications must be >= 1, got {replications}"
+        )
+    if backend == "batched":
+        if workers > 1:
+            raise ValueError(
+                "the batched backend is single-process (grid points "
+                "share in-process tapes); use workers=1 or "
+                "backend='classic'"
+            )
+        if timeseries is not None or trace is not None:
+            raise ValueError(
+                "per-point timeseries/trace observability requires "
+                "backend='classic': the batched backend fuses each "
+                "point's replications into one trajectory, which "
+                "would misattribute their events"
+            )
+    elif invariants == "spot":
+        raise ValueError(
+            "invariants='spot' is a batched-backend mode; use "
+            "'strict'/'warn'/'off' with the classic backend"
+        )
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
     if deadline is not None and deadline <= 0:
@@ -789,14 +993,17 @@ def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
     )
     _validate_algorithms(algorithms, workers=workers)
 
-    sweep = SweepResult(config=config, run=run)
+    sweep = SweepResult(config=config, run=run, replications=replications)
     ckpt = None
     if checkpoint is not None:
         # Imported lazily: persistence imports this module for the
         # result containers.
         from repro.experiments.persistence import SweepCheckpoint
 
-        ckpt = SweepCheckpoint(checkpoint, config, run)
+        ckpt = SweepCheckpoint(
+            checkpoint, config, run,
+            backend=backend, replications=replications,
+        )
         if resume and ckpt.exists():
             restored = ckpt.load_into(sweep)
             if progress is not None and restored:
@@ -808,12 +1015,24 @@ def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
             ckpt.start_fresh()
 
     pending = [
-        (algorithm, mpl)
+        (algorithm, mpl, rep)
         for algorithm in algorithms
         for mpl in mpls
-        if (algorithm, mpl) not in sweep.statuses  # restored: skip
+        for rep in range(replications)
+        if (algorithm, mpl, rep) not in sweep.replicate_statuses  # restored
     ]
     started = time.perf_counter()
+    if backend == "batched":
+        # Imported lazily: the fast lane is an optional second backend
+        # layered on this module's containers and helpers.
+        from repro.fastlane import run_batched_points
+
+        run_batched_points(
+            sweep, pending, config, run, deadline, stall_timeout,
+            retries, progress, ckpt, chaos=chaos, invariants=invariants,
+        )
+        sweep.wall_seconds = time.perf_counter() - started
+        return sweep
     if workers > 1 and len(pending) > 1:
         # Whatever the supervisor could not finish in parallel (pool
         # crashing repeatedly) falls through to the sequential loop —
@@ -823,18 +1042,19 @@ def run_sweep(config, run=None, mpls=None, algorithms=None, seed=None,
             retries, workers, progress, ckpt, timeseries, trace,
             chaos=chaos, invariants=invariants,
         )
-    for algorithm, mpl in pending:
+    for algorithm, mpl, rep in pending:
         result, status = _execute_point(
             config, algorithm, mpl, run, deadline, stall_timeout,
             retries, progress=progress,
             timeseries=timeseries, trace=trace,
-            chaos=chaos, invariants=invariants,
+            chaos=chaos, invariants=invariants, rep=rep,
         )
         if result is not None and progress is not None:
+            tag = f" rep={rep}" if rep else ""
             progress(
-                f"  {config.experiment_id}: {result.describe()}"
+                f"  {config.experiment_id}: {result.describe()}{tag}"
             )
-        _record_point(sweep, (algorithm, mpl), result, status, ckpt)
+        _record_point(sweep, (algorithm, mpl, rep), result, status, ckpt)
     sweep.wall_seconds = time.perf_counter() - started
     return sweep
 

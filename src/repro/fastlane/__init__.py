@@ -1,0 +1,30 @@
+"""The batched-replication fast lane (``run_sweep(backend="batched")``).
+
+A second execution backend for sweeps that is bit-identical per
+replication to the classic lane but simulates each grid point's
+trajectory once instead of once per replication, and shares
+precomputed workload tapes across points.  See
+:mod:`repro.fastlane.backend` for the execution model and its parity
+argument, :mod:`repro.fastlane.tapes` for tape sharing, and
+:mod:`repro.fastlane.kernel` for the direct event-heap drain.
+"""
+
+from repro.fastlane.backend import run_batched_points, run_point_replications
+from repro.fastlane.kernel import drain_until, peek_time
+from repro.fastlane.tapes import (
+    TapeStore,
+    TapeWorkload,
+    WorkloadTape,
+    workload_signature,
+)
+
+__all__ = [
+    "TapeStore",
+    "TapeWorkload",
+    "WorkloadTape",
+    "drain_until",
+    "peek_time",
+    "run_batched_points",
+    "run_point_replications",
+    "workload_signature",
+]

@@ -1,0 +1,59 @@
+"""Fast-lane kernel helpers: direct drains of the DES event heap.
+
+The reference :meth:`repro.des.Environment.run` already inlines its
+hot loop (PR 4); what remains on a batched trajectory is the per-batch
+re-entry overhead — ``until``-type dispatch, deadline validation and
+loop-local rebinding once per batch boundary.  :func:`drain_until`
+is that same inlined loop operating directly on the environment's
+array-backed event heap (``_queue`` is a binary heap over
+``(time, priority, eid, event)`` tuples in a plain list), minus the
+dispatch: the fused driver calls it once per boundary with a bare
+float deadline.
+
+Semantics are exactly ``env.run(until=deadline)`` for a numeric
+deadline: events strictly before the deadline are processed in
+(time, priority, insertion-order), the clock then lands *on* the
+deadline, and a failed event nobody waited on raises.  The parity
+suite pins the equivalence; anything cleverer (calendar queues,
+event-type specialization) belongs behind this seam.
+"""
+
+from heapq import heappop
+
+from repro.des.errors import EmptySchedule
+
+__all__ = ["drain_until", "peek_time"]
+
+
+def drain_until(env, deadline):
+    """Advance ``env`` to ``deadline``, processing every earlier event.
+
+    Equivalent to ``env.run(until=deadline)`` with a numeric deadline,
+    without the per-call ``until`` dispatch. ``deadline`` must not lie
+    in the environment's past (same contract as ``run``).
+    """
+    if deadline < env._now:
+        raise ValueError(
+            f"until ({deadline}) must not be before now ({env._now})"
+        )
+    queue = env._queue
+    pop = heappop
+    while queue:
+        when = queue[0][0]
+        if when >= deadline:
+            break
+        event = pop(queue)[3]
+        env._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+    env._now = deadline
+
+
+def peek_time(env):
+    """Time of the environment's next event (EmptySchedule if none)."""
+    if not env._queue:
+        raise EmptySchedule("no more events")
+    return env._queue[0][0]

@@ -1,0 +1,172 @@
+"""Precomputed workload tapes shared across grid points.
+
+A transaction's read set, write set and class are a pure function of
+``(workload seed, workload parameters, draw index)`` — the workload
+streams are derived by name from the root seed and consumed only by
+:class:`~repro.core.workload.WorkloadGenerator`, so the *k*-th
+transaction generated at ``mpl=5`` is identical to the *k*-th generated
+at ``mpl=200``, under any algorithm, on any resource tier.  The classic
+lane nevertheless re-draws that sequence from scratch for every grid
+point.  A :class:`WorkloadTape` draws it once — with the real
+``WorkloadGenerator``, so draw-identity holds by construction, not by a
+re-implementation that could drift — and stores the immutable spec
+tuples; a :class:`TapeWorkload` replays them as fresh
+:class:`~repro.core.transaction.Transaction` objects for each model.
+
+The specs are shareable because a Transaction's ``read_set`` (tuple)
+and ``write_set`` (frozenset) are immutable: the engine assigns
+per-attempt state on the Transaction, never mutates the sets, so every
+simulation replaying a tape can alias the same tuples.
+"""
+
+from repro.core.transaction import Transaction
+from repro.core.workload import WorkloadGenerator
+from repro.des import StreamFactory
+
+__all__ = ["TapeStore", "TapeWorkload", "WorkloadTape",
+           "workload_signature"]
+
+#: Transactions materialized per tape extension. Large enough to
+#: amortize the per-chunk bookkeeping, small enough that short smoke
+#: runs don't precompute far past what they consume.
+TAPE_CHUNK = 256
+
+
+def workload_signature(params, seed):
+    """The hashable key identifying one transaction sequence.
+
+    Two parameter sets produce byte-identical transaction sequences
+    iff these fields match: the workload streams see nothing else.
+    (``mpl``, resource counts, think times, service times, faults and
+    the CC algorithm all influence *when* transactions are drawn, never
+    *what* the next draw returns.)
+    """
+    mix = params.workload_mix
+    mix_signature = None if mix is None else tuple(
+        (cls.name, cls.weight, cls.min_size, cls.max_size, cls.write_prob)
+        for cls in mix
+    )
+    return (
+        seed,
+        params.db_size,
+        params.min_size,
+        params.max_size,
+        params.write_prob,
+        params.hot_fraction,
+        params.hot_access_prob,
+        mix_signature,
+    )
+
+
+class WorkloadTape:
+    """The materialized transaction sequence of one workload signature.
+
+    Specs are ``(read_set, write_set, tx_class_name)`` tuples with
+    ``read_set`` a tuple and ``write_set`` a frozenset — exactly the
+    immutable forms Transaction normalizes its sets into, so replaying
+    allocates no per-transaction copies.  The tape extends on demand in
+    :data:`TAPE_CHUNK`-sized chunks; the drawing generator keeps its
+    stream state between extensions, so tape contents are independent
+    of the chunk boundaries and of how many consumers pulled on it.
+    """
+
+    __slots__ = ("signature", "specs", "_generator")
+
+    def __init__(self, params, seed, signature=None):
+        self.signature = (
+            signature if signature is not None
+            else workload_signature(params, seed)
+        )
+        self.specs = []
+        # The tape's private generator over a private stream factory:
+        # same seed derivation, same draw code, therefore the same
+        # sequence every model-owned generator would produce.
+        self._generator = WorkloadGenerator(params, StreamFactory(seed))
+
+    def __len__(self):
+        return len(self.specs)
+
+    def spec(self, index):
+        """The ``index``-th transaction spec, extending the tape as needed."""
+        specs = self.specs
+        while index >= len(specs):
+            self._extend(TAPE_CHUNK)
+        return specs[index]
+
+    def _extend(self, n):
+        generator = self._generator
+        append = self.specs.append
+        for _ in range(n):
+            tx = generator.new_transaction(terminal_id=0)
+            append((tx.read_set, tx.write_set, tx.tx_class))
+
+
+class TapeWorkload:
+    """A model's workload source replaying a shared :class:`WorkloadTape`.
+
+    Satisfies the engine's workload protocol (``new_transaction`` plus
+    the ``generated`` counter) and reproduces ``WorkloadGenerator``
+    byte-for-byte: the *k*-th call returns a Transaction with id
+    ``k+1``, the tape's *k*-th read/write sets, and the same class tag.
+    One TapeWorkload per model — the ``generated`` cursor is the
+    model's position on the tape — while the tape itself is shared by
+    every point of the sweep with the same workload signature.
+    """
+
+    __slots__ = ("params", "tape", "generated")
+
+    def __init__(self, params, tape):
+        self.params = params
+        self.tape = tape
+        self.generated = 0
+
+    def new_transaction(self, terminal_id):
+        """The next taped transaction, bound to ``terminal_id``."""
+        index = self.generated
+        specs = self.tape.specs
+        if index >= len(specs):
+            self.tape.spec(index)
+        read_set, write_set, tx_class = specs[index]
+        self.generated = index + 1
+        tx = Transaction(
+            tx_id=index + 1,
+            terminal_id=terminal_id,
+            read_set=read_set,
+            write_set=write_set,
+        )
+        tx.tx_class = tx_class
+        return tx
+
+
+class TapeStore:
+    """Workload tapes keyed by signature, shared across a sweep.
+
+    The batched backend asks the store for a workload per (params,
+    seed); points whose signatures coincide — every mpl of one
+    experiment, typically — replay one tape instead of re-drawing
+    ``points × transactions`` specs.  ``hits``/``misses`` make the
+    sharing observable for tests and logs.
+    """
+
+    __slots__ = ("tapes", "hits", "misses")
+
+    def __init__(self):
+        self.tapes = {}
+        self.hits = 0
+        self.misses = 0
+
+    def tape(self, params, seed):
+        """The (possibly shared) tape for this workload signature."""
+        signature = workload_signature(params, seed)
+        tape = self.tapes.get(signature)
+        if tape is None:
+            self.misses += 1
+            tape = WorkloadTape(params, seed, signature=signature)
+            self.tapes[signature] = tape
+        else:
+            self.hits += 1
+        return tape
+
+    def workload(self, params, seed):
+        """A fresh :class:`TapeWorkload` over the signature's tape."""
+        return TapeWorkload(params, self.tape(params, seed))

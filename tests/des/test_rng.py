@@ -93,3 +93,57 @@ class TestStreamFactory:
         a = StreamFactory(1).stream("x").random()
         b = StreamFactory(2).stream("x").random()
         assert a != b
+
+
+class TestBatchDraws:
+    """The ``*_many`` variants are the loop of single draws, verbatim."""
+
+    def test_uniform_int_many_matches_single_draw_loop(self):
+        batched = RandomStream(42)
+        looped = RandomStream(42)
+        assert batched.uniform_int_many(3, 9, 100) == [
+            looped.uniform_int(3, 9) for _ in range(100)
+        ]
+        # Both consumed identical generator state: follow-up draws agree.
+        assert batched.uniform_int(0, 10**6) == looped.uniform_int(0, 10**6)
+
+    def test_bernoulli_many_matches_single_draw_loop(self):
+        batched = RandomStream(42)
+        looped = RandomStream(42)
+        assert batched.bernoulli_many(0.3, 100) == [
+            looped.bernoulli(0.3) for _ in range(100)
+        ]
+        assert batched.random() == looped.random()
+
+    def test_zero_draws_consume_no_state(self):
+        stream = RandomStream(7)
+        assert stream.uniform_int_many(1, 6, 0) == []
+        assert stream.bernoulli_many(0.5, 0) == []
+        assert stream.uniform_int(1, 6) == RandomStream(7).uniform_int(1, 6)
+
+    def test_single_draw_batch(self):
+        assert RandomStream(7).uniform_int_many(1, 6, 1) == [
+            RandomStream(7).uniform_int(1, 6)
+        ]
+        assert RandomStream(7).bernoulli_many(0.5, 1) == [
+            RandomStream(7).bernoulli(0.5)
+        ]
+
+    def test_degenerate_single_value_range(self):
+        assert RandomStream(7).uniform_int_many(4, 4, 5) == [4] * 5
+
+    def test_empty_range_rejected_even_for_zero_draws(self):
+        stream = RandomStream(7)
+        with pytest.raises(ValueError, match="empty range"):
+            stream.uniform_int(5, 4)
+        with pytest.raises(ValueError, match="empty range"):
+            stream.uniform_int_many(5, 4, 0)
+        with pytest.raises(ValueError, match="empty range"):
+            stream.uniform_int_many(5, 4, 10)
+
+    def test_bernoulli_probability_validated(self):
+        stream = RandomStream(7)
+        with pytest.raises(ValueError):
+            stream.bernoulli_many(-0.1, 3)
+        with pytest.raises(ValueError):
+            stream.bernoulli_many(1.1, 3)

@@ -315,3 +315,62 @@ class TestFigureObservability:
     def test_negative_workers_rejected(self):
         with pytest.raises(SystemExit):
             main(["--all", "--workers", "-2"])
+
+
+class TestBackendFlags:
+    """--backend / --replications / --invariants spot wiring."""
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["--all"])
+        assert args.backend == "classic"
+        assert args.replications == 1
+
+    def test_batched_backend_accepted(self):
+        args = build_parser().parse_args(
+            ["--all", "--backend", "batched", "--replications", "4"]
+        )
+        assert args.backend == "batched"
+        assert args.replications == 4
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--all", "--backend", "turbo"])
+
+    def test_replications_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["--all", "--replications", "0"])
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--all", "--retries", "-1"])
+
+    def test_batched_refuses_workers(self):
+        with pytest.raises(SystemExit):
+            main(["--all", "--backend", "batched", "--workers", "2"])
+
+    def test_batched_refuses_trace_and_timeseries(self):
+        with pytest.raises(SystemExit):
+            main(["--all", "--backend", "batched", "--trace"])
+        with pytest.raises(SystemExit):
+            main(["--all", "--backend", "batched", "--timeseries", "1"])
+
+    def test_batched_refuses_single(self):
+        with pytest.raises(SystemExit):
+            main(["--single", "blocking", "--backend", "batched"])
+
+    def test_spot_invariants_require_batched(self):
+        with pytest.raises(SystemExit):
+            main(["--all", "--invariants", "spot"])
+
+    def test_batched_replicated_sweep_runs(self, capsys):
+        code = main([
+            "--figure", "8",
+            "--batches", "1", "--batch-time", "3", "--warmup-batches", "0",
+            "--mpl", "5",
+            "--algorithm", "blocking",
+            "--backend", "batched", "--replications", "2",
+            "--invariants", "spot",
+            "--no-plots",
+        ])
+        assert code == 0
+        assert "Figure 8" in capsys.readouterr().out

@@ -305,3 +305,40 @@ class TestHardBackstop:
         assert sweep.status(
             "test_hang_forever", 2
         ).status == STATUS_FAILED
+
+
+class TestSeedValidationAndReplicationKeys:
+    """Attempt validation and the replication axis of the seed scheme."""
+
+    def test_negative_attempt_rejected(self):
+        from repro.experiments import retry_backoff
+
+        with pytest.raises(ValueError, match="attempt"):
+            point_seed(11, "blocking", 2, -1)
+        with pytest.raises(ValueError, match="attempt"):
+            retry_backoff(11, "blocking", 2, -1)
+
+    def test_attempt_zero_ignores_the_replication(self):
+        # Common random numbers hold across replications too: attempt 0
+        # of every replication extends the one sweep-seeded trajectory.
+        for rep in (0, 1, 7):
+            assert point_seed(11, "blocking", 2, 0, rep=rep) == 11
+
+    def test_replication_zero_keeps_the_historical_seeds(self):
+        # rep=0 must hash exactly as the pre-replication scheme did, so
+        # old checkpoints' retry seeds stay reproducible.
+        assert point_seed(11, "blocking", 2, 1, rep=0) == point_seed(
+            11, "blocking", 2, 1
+        )
+
+    def test_retry_seeds_differ_per_replication(self):
+        seeds = {
+            point_seed(11, "blocking", 2, 1, rep=rep) for rep in range(6)
+        }
+        assert len(seeds) == 6
+
+    def test_backoff_is_zero_on_the_first_attempt_of_any_rep(self):
+        from repro.experiments import retry_backoff
+
+        assert retry_backoff(11, "blocking", 2, 0, rep=3) == 0.0
+        assert retry_backoff(11, "blocking", 2, 1, rep=3) > 0.0

@@ -365,13 +365,13 @@ class TestPoolCrashSupervision:
         def progressing(sweep, pending, *args, **kwargs):
             calls.append(list(pending))
             # Record one point per drain, "crash" on the rest.
-            algorithm, mpl = pending[0]
+            algorithm, mpl, rep = pending[0]
             result, status = runner_module._execute_point(
                 kwargs.get("config") or args[0], algorithm, mpl,
-                TINY_RUN, None, None, 0,
+                TINY_RUN, None, None, 0, rep=rep,
             )
             runner_module._record_point(
-                sweep, (algorithm, mpl), result, status, None
+                sweep, (algorithm, mpl, rep), result, status, None
             )
             return list(pending[1:])
 

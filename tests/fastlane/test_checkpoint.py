@@ -1,0 +1,154 @@
+"""Checkpoint <-> backend binding for the fast lane.
+
+The two lanes are result-identical but *retry*-identical they are not
+(a batched retry reseeds the whole fused point, a classic retry
+reseeds one replication), so a checkpoint written by one lane must
+never be silently continued by the other. Headers therefore record the
+backend and the replication count; any disagreement on resume is a
+:class:`CheckpointMismatchError`, and headers written before the fast
+lane existed resume as explicit classic/1 runs.
+"""
+
+import pytest
+
+from repro.chaos import truncate_tail
+from repro.experiments import CheckpointMismatchError, run_sweep
+from repro.experiments.persistence import (
+    decode_checkpoint_line,
+    encode_checkpoint_line,
+)
+
+from tests.fastlane.grid import GRID_RUN, grid_config, sweep_fingerprints
+
+
+def read_lines(path):
+    with open(path) as f:
+        return f.read().splitlines()
+
+
+class TestHeaderBinding:
+    def test_header_records_backend_and_replications(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        run_sweep(
+            grid_config(), run=GRID_RUN, backend="batched",
+            replications=2, checkpoint=path,
+        )
+        header = decode_checkpoint_line(read_lines(path)[0])
+        assert header["backend"] == "batched"
+        assert header["replications"] == 2
+
+    def test_classic_header_still_says_classic(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        run_sweep(grid_config(), run=GRID_RUN, checkpoint=path)
+        header = decode_checkpoint_line(read_lines(path)[0])
+        assert header["backend"] == "classic"
+        assert header["replications"] == 1
+
+    def test_rep_key_only_on_nonzero_replications(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        run_sweep(
+            grid_config(), run=GRID_RUN, backend="batched",
+            replications=3, checkpoint=path,
+        )
+        points = [decode_checkpoint_line(raw) for raw in read_lines(path)[1:]]
+        recorded = {
+            (p["algorithm"], p["mpl"], p.get("rep", 0)) for p in points
+        }
+        config = grid_config()
+        assert recorded == {
+            (algorithm, mpl, rep)
+            for algorithm in config.algorithms
+            for mpl in config.mpls
+            for rep in range(3)
+        }
+        # Replication 0 omits the key, keeping non-replicated
+        # checkpoints byte-compatible with the historical layout.
+        for point in points:
+            assert point.get("rep", 0) != 0 or "rep" not in point
+
+
+class TestResumeMismatch:
+    def test_backend_mismatch_refused_both_ways(self, tmp_path):
+        classic_path = tmp_path / "classic.ckpt"
+        run_sweep(grid_config(), run=GRID_RUN, checkpoint=classic_path)
+        with pytest.raises(CheckpointMismatchError, match="--backend"):
+            run_sweep(
+                grid_config(), run=GRID_RUN, backend="batched",
+                checkpoint=classic_path, resume=True,
+            )
+        batched_path = tmp_path / "batched.ckpt"
+        run_sweep(
+            grid_config(), run=GRID_RUN, backend="batched",
+            checkpoint=batched_path,
+        )
+        with pytest.raises(CheckpointMismatchError, match="--backend"):
+            run_sweep(
+                grid_config(), run=GRID_RUN,
+                checkpoint=batched_path, resume=True,
+            )
+
+    def test_replication_count_mismatch_refused(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        run_sweep(
+            grid_config(), run=GRID_RUN, backend="batched",
+            replications=2, checkpoint=path,
+        )
+        with pytest.raises(CheckpointMismatchError, match="replication"):
+            run_sweep(
+                grid_config(), run=GRID_RUN, backend="batched",
+                replications=3, checkpoint=path, resume=True,
+            )
+
+    def test_legacy_header_defaults_to_classic(self, tmp_path):
+        # Headers written before the fast lane existed carry neither
+        # key: they must resume as classic/1 and refuse batched.
+        path = tmp_path / "sweep.ckpt"
+        run_sweep(grid_config(), run=GRID_RUN, checkpoint=path)
+        lines = read_lines(path)
+        header = decode_checkpoint_line(lines[0])
+        del header["backend"]
+        del header["replications"]
+        with open(path, "w") as f:
+            f.write(encode_checkpoint_line(header))
+            f.write("\n".join(lines[1:]) + "\n")
+        resumed = run_sweep(
+            grid_config(), run=GRID_RUN, checkpoint=path, resume=True
+        )
+        fresh = run_sweep(grid_config(), run=GRID_RUN)
+        assert sweep_fingerprints(resumed) == sweep_fingerprints(fresh)
+        with pytest.raises(CheckpointMismatchError, match="--backend"):
+            run_sweep(
+                grid_config(), run=GRID_RUN, backend="batched",
+                checkpoint=path, resume=True,
+            )
+
+
+class TestBatchedResume:
+    def test_completed_checkpoint_reloads_identically(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        fresh = run_sweep(
+            grid_config(), run=GRID_RUN, backend="batched",
+            replications=3, checkpoint=path,
+        )
+        resumed = run_sweep(
+            grid_config(), run=GRID_RUN, backend="batched",
+            replications=3, checkpoint=path, resume=True,
+        )
+        assert sweep_fingerprints(resumed) == sweep_fingerprints(fresh)
+
+    def test_torn_checkpoint_resumes_byte_identically(self, tmp_path):
+        # Kill-mid-write crash model: chop the checkpoint's tail, then
+        # resume; the re-simulated points must reproduce the fault-free
+        # sweep exactly (a partially lost point refuses nothing — the
+        # fused trajectory re-runs from its own seed).
+        path = tmp_path / "sweep.ckpt"
+        fresh = run_sweep(
+            grid_config(), run=GRID_RUN, backend="batched",
+            replications=3, checkpoint=path,
+        )
+        truncate_tail(path, 200)
+        resumed = run_sweep(
+            grid_config(), run=GRID_RUN, backend="batched",
+            replications=3, checkpoint=path, resume=True,
+        )
+        assert sweep_fingerprints(resumed) == sweep_fingerprints(fresh)

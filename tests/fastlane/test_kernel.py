@@ -1,0 +1,84 @@
+"""``drain_until`` is exactly ``env.run(until=deadline)``, minus dispatch.
+
+Twin environments run identical schedules — one through the reference
+:meth:`Environment.run`, one through the fast-lane drain — and must
+observe the same wakeups in the same order at every boundary, including
+re-entry across multiple drains (the fused driver calls once per batch
+boundary).
+"""
+
+import pytest
+
+from repro.des import Environment
+from repro.des.errors import EmptySchedule
+from repro.fastlane import drain_until, peek_time
+
+
+def _ticker(env, log, label, period, count):
+    for _ in range(count):
+        yield env.timeout(period)
+        log.append((label, env.now))
+
+
+def _twin():
+    env = Environment()
+    log = []
+    env.process(_ticker(env, log, "fast", 0.7, 20))
+    env.process(_ticker(env, log, "slow", 1.1, 20))
+    return env, log
+
+
+class TestDrainUntil:
+    def test_matches_reference_run_across_boundaries(self):
+        reference, reference_log = _twin()
+        drained, drained_log = _twin()
+        for boundary in (2.0, 2.0, 5.5, 13.0):
+            reference.run(until=boundary)
+            drain_until(drained, boundary)
+            assert drained.now == reference.now == boundary
+            assert drained_log == reference_log
+
+    def test_event_on_the_deadline_stays_queued(self):
+        # Same strict-inequality contract as the reference loop: the
+        # clock lands on the deadline, the deadline's own events wait.
+        reference, reference_log = _twin()
+        drained, drained_log = _twin()
+        reference.run(until=0.7)
+        drain_until(drained, 0.7)
+        assert drained_log == reference_log == []
+        assert peek_time(drained) == 0.7
+
+    def test_deadline_in_the_past_raises(self):
+        env, _ = _twin()
+        drain_until(env, 3.0)
+        with pytest.raises(ValueError, match="must not be before"):
+            drain_until(env, 1.0)
+
+    def test_drain_to_now_is_a_no_op(self):
+        env, log = _twin()
+        drain_until(env, 3.0)
+        snapshot = list(log)
+        drain_until(env, 3.0)
+        assert log == snapshot and env.now == 3.0
+
+    def test_uncaught_failure_propagates(self):
+        def bomb(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("boom")
+
+        env = Environment()
+        env.process(bomb(env))
+        with pytest.raises(RuntimeError, match="boom"):
+            drain_until(env, 2.0)
+
+
+class TestPeekTime:
+    def test_peeks_the_next_wakeup(self):
+        env, _ = _twin()
+        assert peek_time(env) == 0.0  # the process-start events
+        drain_until(env, 1.0)
+        assert peek_time(env) == 1.1
+
+    def test_empty_schedule_raises(self):
+        with pytest.raises(EmptySchedule):
+            peek_time(Environment())

@@ -1,0 +1,171 @@
+"""Bit-parity of the batched fast lane against the classic lane.
+
+The fast lane's whole claim is "same numbers, less work": every
+replication carved from a fused trajectory must be bit-identical to
+the independent ``run_simulation`` call the classic lane would have
+made for it. These tests pin that claim three ways:
+
+* against the checked-in golden sha256 digests (all three paper
+  algorithms, finite and infinite resources) for a single replication;
+* per replication against the classic lane's definition
+  (``warmup_batches = w + r * B``) for multi-replication points;
+* at the ``run_sweep`` level against both the sequential and the
+  multiprocess classic drivers, replicate for replicate.
+"""
+
+import pytest
+
+from repro.core.simulation import run_simulation
+from repro.experiments import run_sweep
+from repro.fastlane import TapeStore, run_point_replications
+
+from tests.fastlane.grid import (
+    GRID_RUN,
+    grid_config,
+    result_fingerprint,
+    sweep_fingerprints,
+)
+from tests.resources.test_golden_parity import (
+    FINITE,
+    GOLDEN,
+    INFINITE,
+    RUN,
+    _fingerprint,
+)
+
+ALGORITHMS = ("blocking", "immediate_restart", "optimistic")
+
+
+def _params(resources):
+    return FINITE if resources == "finite" else INFINITE
+
+
+def classic_replication(params, algorithm, run, rep):
+    """The classic lane's definition of replication ``rep``."""
+    segment = run.with_changes(
+        warmup_batches=run.warmup_batches + rep * run.batches
+    )
+    return run_simulation(params, algorithm=algorithm, run=segment)
+
+
+class TestFusedTrajectoryParity:
+    @pytest.mark.parametrize("algorithm,resources", sorted(GOLDEN))
+    def test_single_replication_matches_golden(self, algorithm, resources):
+        result = run_point_replications(
+            _params(resources), algorithm, RUN, 1
+        )[0]
+        assert _fingerprint(result) == GOLDEN[(algorithm, resources)]
+
+    @pytest.mark.parametrize("algorithm,resources", sorted(GOLDEN))
+    def test_every_carved_replication_matches_classic(
+        self, algorithm, resources
+    ):
+        params = _params(resources)
+        carved = run_point_replications(params, algorithm, RUN, 3)
+        for rep, result in enumerate(carved):
+            classic = classic_replication(params, algorithm, RUN, rep)
+            assert _fingerprint(result) == _fingerprint(classic)
+            assert result.run == classic.run
+            assert result.algorithm == classic.algorithm
+
+    def test_tape_fed_classic_run_matches_golden(self):
+        # Tape injection alone changes nothing: the tape replays the
+        # very sequence the model-owned generator would draw.
+        store = TapeStore()
+        for algorithm in ALGORITHMS:
+            result = run_simulation(
+                FINITE, algorithm=algorithm, run=RUN,
+                workload=store.workload(FINITE, RUN.seed),
+            )
+            assert _fingerprint(result) == GOLDEN[(algorithm, "finite")]
+
+
+class TestSweepParity:
+    def test_batched_matches_sequential_classic(self):
+        classic = run_sweep(grid_config(), run=GRID_RUN, replications=3)
+        batched = run_sweep(
+            grid_config(), run=GRID_RUN, replications=3, backend="batched"
+        )
+        assert sweep_fingerprints(batched) == sweep_fingerprints(classic)
+        # Replication 0 keeps its historical home in ``results``.
+        for pair, result in classic.results.items():
+            assert result_fingerprint(batched.results[pair]) == (
+                result_fingerprint(result)
+            )
+        # Same statuses (all clean first-attempt successes)...
+        assert set(batched.replicate_statuses) == set(
+            classic.replicate_statuses
+        )
+        for status in batched.replicate_statuses.values():
+            assert status.status == "ok"
+            assert status.attempts == 1
+        # ...and identical cross-replication aggregates.
+        for algorithm, mpl in classic.results:
+            assert batched.cross_replication(
+                "throughput", algorithm, mpl
+            ) == classic.cross_replication("throughput", algorithm, mpl)
+
+    def test_batched_matches_multiprocess_classic(self):
+        fanned = run_sweep(
+            grid_config(), run=GRID_RUN, replications=2, workers=2
+        )
+        batched = run_sweep(
+            grid_config(), run=GRID_RUN, replications=2, backend="batched"
+        )
+        assert sweep_fingerprints(batched) == sweep_fingerprints(fanned)
+
+    def test_spot_invariants_change_no_results(self):
+        plain = run_sweep(
+            grid_config(), run=GRID_RUN, replications=2, backend="batched",
+            invariants="off",
+        )
+        spotted = run_sweep(
+            grid_config(), run=GRID_RUN, replications=2, backend="batched",
+            invariants="spot",
+        )
+        assert sweep_fingerprints(spotted) == sweep_fingerprints(plain)
+
+    def test_single_replication_sweep_is_the_classic_sweep(self):
+        # backend="batched" with replications=1 must still match the
+        # plain historical sweep byte for byte, results dict included.
+        classic = run_sweep(grid_config(), run=GRID_RUN)
+        batched = run_sweep(
+            grid_config(), run=GRID_RUN, backend="batched"
+        )
+        assert set(batched.results) == set(classic.results)
+        for pair, result in classic.results.items():
+            assert result_fingerprint(batched.results[pair]) == (
+                result_fingerprint(result)
+            )
+
+
+class TestBackendValidation:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            run_sweep(grid_config(), run=GRID_RUN, backend="turbo")
+
+    def test_replications_must_be_positive(self):
+        with pytest.raises(ValueError, match="replications"):
+            run_sweep(grid_config(), run=GRID_RUN, replications=0)
+
+    def test_batched_refuses_worker_fanout(self):
+        with pytest.raises(ValueError, match="single-process"):
+            run_sweep(
+                grid_config(), run=GRID_RUN, backend="batched", workers=2
+            )
+
+    def test_batched_refuses_per_point_observability(self, tmp_path):
+        with pytest.raises(ValueError, match="timeseries/trace"):
+            run_sweep(
+                grid_config(), run=GRID_RUN, backend="batched",
+                timeseries=1.0,
+            )
+        with pytest.raises(ValueError, match="timeseries/trace"):
+            run_sweep(
+                grid_config(), run=GRID_RUN, backend="batched",
+                trace=str(tmp_path),
+            )
+
+    def test_spot_invariants_require_batched_backend(self):
+        with pytest.raises(ValueError, match="spot"):
+            run_sweep(grid_config(), run=GRID_RUN, invariants="spot")

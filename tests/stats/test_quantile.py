@@ -117,3 +117,64 @@ class TestModelIntegration:
         mean = result.totals["response_time_overall_mean"]
         assert 0 < p50 <= p95
         assert p50 < mean * 2
+
+
+class TestSmallSampleRegression:
+    """The pre-transition ``value`` path, pinned observation by observation.
+
+    Regression suite for the <5-observation estimate: before the P^2
+    markers exist the estimator must return the *exact* sample quantile
+    of what it has seen (clamped into range), never an interpolation
+    artifact, and reading ``value`` must not disturb the estimator.
+    """
+
+    def test_single_observation_for_any_quantile(self):
+        for p in (0.01, 0.5, 0.99):
+            q = P2Quantile(p)
+            q.add(42.0)
+            assert q.value == 42.0
+
+    def test_extreme_quantiles_clamp_to_min_and_max(self):
+        low, high = P2Quantile(0.01), P2Quantile(0.99)
+        for x in (30.0, 10.0, 20.0, 40.0):
+            low.add(x)
+            high.add(x)
+        assert low.value == 10.0
+        assert high.value == 40.0
+
+    def test_exact_sample_quantile_for_each_prefix(self):
+        # value == ordered[round(p * (n - 1))] for every n in 1..4.
+        observations = [7.0, 3.0, 9.0, 1.0]
+        q = P2Quantile(0.5)
+        for n, x in enumerate(observations, start=1):
+            q.add(x)
+            ordered = sorted(observations[:n])
+            index = min(n - 1, int(round(0.5 * (n - 1))))
+            assert q.value == ordered[index]
+
+    def test_reading_value_does_not_disturb_the_estimator(self):
+        probed, untouched = P2Quantile(0.5), P2Quantile(0.5)
+        for x in (5.0, 1.0, 4.0, 2.0, 3.0, 6.0, 0.5):
+            probed.add(x)
+            probed.value  # read between adds, across the transition
+            untouched.add(x)
+        # Probing ``value`` between adds changed nothing.
+        assert probed.value == untouched.value
+        assert probed.count == untouched.count
+
+    def test_transition_at_five_observations_is_seamless(self):
+        q = P2Quantile(0.5)
+        for x in (5.0, 1.0, 4.0, 2.0):
+            q.add(x)
+        before = q.value  # exact path: median-ish of four
+        q.add(3.0)
+        # Markers initialize to the sorted sample; the median marker is
+        # the exact sample median.
+        assert q.value == 3.0
+        assert before in (2.0, 4.0)
+
+    def test_repr_works_before_markers_exist(self):
+        q = P2Quantile(0.5)
+        assert "count=0" in repr(q)
+        q.add(2.5)
+        assert "2.5" in repr(q)
