@@ -1,8 +1,10 @@
-"""The closed queuing model of a single-site DBMS (paper Figure 1).
+"""The queuing model of a single-site DBMS (paper Figure 1).
 
-Transactions originate from a fixed number of terminals. At most ``mpl``
-transactions are *active* (receiving or waiting for service inside the
-DBMS) at once; excess arrivals wait in the ready queue. An active
+Transactions originate from the configured workload model (see
+:mod:`repro.workloads`) — the paper's closed terminal pool by default.
+At most ``mpl`` transactions are *active* (receiving or waiting for
+service inside the DBMS) at once; excess arrivals wait in the ready
+queue. An active
 transaction alternates concurrency-control requests with object accesses
 (all reads first, then all writes), optionally thinks between its reads
 and writes (interactive workloads), then reaches its commit point,
@@ -33,7 +35,6 @@ from repro.core.errors import RestartLivelockError
 from repro.core.history import CommittedRecord
 from repro.core.metrics import MetricsCollector
 from repro.core.params import (
-    ARRIVAL_OPEN,
     DELAY_MODE_ADAPTIVE_ALL,
     DELAY_MODE_DEFAULT,
     DELAY_MODE_FIXED_ALL,
@@ -41,7 +42,6 @@ from repro.core.params import (
 )
 from repro.core.store import ObjectStore
 from repro.core.transaction import TxState
-from repro.core.workload import WorkloadGenerator
 from repro.des import Environment, Interrupt, StreamFactory
 from repro.faults import FaultInjector
 from repro.obs import (
@@ -61,6 +61,7 @@ from repro.obs.events import (
     TX_SUBMIT,
 )
 from repro.resources import create_resource_model
+from repro.workloads import create_workload_model
 
 __all__ = ["SystemModel", "CommittedRecord"]
 
@@ -94,9 +95,14 @@ class SystemModel:
         else:
             self.cc = create_algorithm(algorithm)
         self.cc.attach(self.env, hooks=self)
+        #: The origination layer, constructed from the workload-model
+        #: registry (repro.workloads) per params.workload_model.
+        self.workload_model = create_workload_model(params)
         # Anything with a new_transaction(terminal_id) method works as a
-        # workload source; ReplayWorkload substitutes recorded traces.
-        self.workload = workload or WorkloadGenerator(params, self.streams)
+        # workload source; the fastlane substitutes tape replays here.
+        self.workload = workload or self.workload_model.build_generator(
+            params, self.streams
+        )
         #: The physical tier, constructed from the resource-model
         #: registry (repro.resources) per params.resource_model.
         self.physical = create_resource_model(
@@ -112,7 +118,10 @@ class SystemModel:
                 self.env, params.faults, self.physical, self.streams,
                 bus=self.bus,
             ).start()
-        self.metrics = MetricsCollector(self.env, params, self.physical)
+        self.metrics = MetricsCollector(
+            self.env, params, self.physical,
+            open_system=self.workload_model.open_system,
+        )
         # Subscriber attach order fixes dispatch order: metrics first
         # (the default fast path), then tracing/history, then caller
         # extras.
@@ -134,11 +143,7 @@ class SystemModel:
         self._same_instant_restarts = {}
         self._int_think_rng = self.streams.stream("int_think")
         self._restart_delay_rng = self.streams.stream("restart_delay")
-        if params.arrival_mode == ARRIVAL_OPEN:
-            self.env.process(self._open_source())
-        else:
-            for terminal_id in range(params.num_terms):
-                self.env.process(self._terminal(terminal_id))
+        self.workload_model.start(self)
 
     @property
     def committed_history(self):
@@ -167,41 +172,22 @@ class SystemModel:
         """A unique, strictly increasing (time, sequence) timestamp."""
         return (self.env.now, next(self._ts_seq))
 
-    # -- terminals and admission control --------------------------------------------
+    # -- submission and admission control --------------------------------------------
 
-    def _terminal(self, terminal_id):
-        """One terminal: think, submit, wait for completion, repeat."""
-        rng = self.streams.stream(f"terminal.{terminal_id}")
-        # Initial stagger so 200 terminals do not fire simultaneously at t=0.
-        yield self.env.timeout(rng.exponential(self.params.ext_think_time))
-        while True:
-            tx = self.workload.new_transaction(terminal_id)
-            tx.done_event = self.env.event()
-            tx.first_submit_time = self.env.now
-            tx.priority_ts = self.next_timestamp()
-            self._enqueue_ready(tx)
-            yield tx.done_event
-            yield self.env.timeout(
-                rng.exponential(self.params.ext_think_time)
-            )
+    def submit(self, tx):
+        """Submit a freshly originated transaction into the ready queue.
 
-    def _open_source(self):
-        """Open-system source: Poisson arrivals at ``arrival_rate``.
-
-        Replaces the terminal population. Nobody waits on completion,
-        so the ready queue grows without bound when the offered load
-        exceeds the system's capacity — which is exactly the behavior
-        an open model exposes and a closed model hides.
+        The workload model's side of the origination contract: the
+        engine stamps completion event, first-submit time and priority
+        timestamp — in this exact order, which the golden parity suite
+        pins — then applies mpl admission. For sources that never wait
+        on completion (open models), ``done_event`` simply succeeds
+        unobserved.
         """
-        rng = self.streams.stream("open_arrivals")
-        mean_interarrival = 1.0 / self.params.arrival_rate
-        while True:
-            yield self.env.timeout(rng.exponential(mean_interarrival))
-            tx = self.workload.new_transaction(terminal_id=0)
-            tx.done_event = self.env.event()  # succeeds unobserved
-            tx.first_submit_time = self.env.now
-            tx.priority_ts = self.next_timestamp()
-            self._enqueue_ready(tx)
+        tx.done_event = self.env.event()
+        tx.first_submit_time = self.env.now
+        tx.priority_ts = self.next_timestamp()
+        self._enqueue_ready(tx)
 
     def _enqueue_ready(self, tx):
         """Append to the back of the ready queue and admit if possible."""

@@ -47,12 +47,20 @@ class RunningAverage:
 class MetricsCollector:
     """All cumulative instruments for one simulation run."""
 
-    def __init__(self, env, params, physical):
+    def __init__(self, env, params, physical, open_system=False):
         self.env = env
         self.physical = physical
+        #: True under an open-system workload model: enables the
+        #: arrival-side batch keys and totals. Closed runs keep their
+        #: exact key set, so analyzer series and golden fingerprints
+        #: are untouched by the open-system instrumentation.
+        self.open_system = open_system
         self.commits = Counter("commits")
         self.restarts = Counter("restarts")
         self.blocks = Counter("blocks")
+        #: First submissions (TX_SUBMIT only — resubmits of restarted
+        #: transactions are not new arrivals).
+        self.submissions = Counter("submissions")
         self.restart_reasons = {}
         #: class name -> {"commits", "restarts", response Welford}; only
         #: populated for multiclass workloads.
@@ -117,6 +125,9 @@ class MetricsCollector:
     def record_block(self, tx):
         self.blocks.increment()
 
+    def record_submit(self, tx):
+        self.submissions.increment()
+
     # -- batch snapshot/delta ---------------------------------------------------
 
     def snapshot(self):
@@ -137,7 +148,7 @@ class MetricsCollector:
         )
         cpu = self.physical.cpu_tracker
         disk = self.physical.disk_tracker
-        return {
+        values = {
             "throughput": commits / elapsed,
             "commits": float(commits),
             "response_time": response_delta.mean,
@@ -159,6 +170,15 @@ class MetricsCollector:
                 snapshot.ready_area, snapshot.time
             ),
         }
+        if self.open_system:
+            # Arrival-side series, only under open workload models so
+            # closed runs' analyzer series stay byte-identical.
+            submitted = self.submissions.total - snapshot.submitted
+            values["arrival_rate"] = submitted / elapsed
+            values["in_system"] = float(
+                self.submissions.total - self.commits.total
+            )
+        return values
 
 
 class _Snapshot:
@@ -169,6 +189,7 @@ class _Snapshot:
         "commits",
         "restarts",
         "blocks",
+        "submitted",
         "response_times",
         "cpu_busy",
         "cpu_useful",
@@ -183,6 +204,7 @@ class _Snapshot:
         self.commits = metrics.commits.total
         self.restarts = metrics.restarts.total
         self.blocks = metrics.blocks.total
+        self.submitted = metrics.submissions.total
         self.response_times = metrics.response_times.snapshot()
         self.cpu_busy = metrics.physical.cpu_tracker.busy_area()
         self.cpu_useful = metrics.physical.cpu_tracker.useful_time

@@ -50,6 +50,42 @@ DISK_PLACEMENT_STRIPED = "striped"        # round-robin (perfect striping)
 _DISK_PLACEMENTS = (DISK_PLACEMENT_CONTIGUOUS, DISK_PLACEMENT_STRIPED)
 
 
+def normalize_workload_spec(spec):
+    """Canonicalize a workload-spec mapping to a hashable tuple form.
+
+    Accepts a dict (or an already-normalized tuple of pairs) and
+    returns a sorted tuple of ``(key, value)`` pairs with list/tuple
+    values recursively converted to tuples. The canonical form is
+    hashable and order-independent, so it is safe inside the frozen
+    parameter dataclass, fastlane workload signatures and checkpoint
+    headers.
+    """
+    if isinstance(spec, dict):
+        items = spec.items()
+    else:
+        items = list(spec)
+    normalized = []
+    for key, value in sorted(items):
+        if not isinstance(key, str) or not key:
+            raise ValueError(
+                f"workload_spec keys must be non-empty strings, got {key!r}"
+            )
+        if isinstance(value, (list, tuple)):
+            value = tuple(value)
+        elif value is not None and not isinstance(
+            value, (str, int, float, bool)
+        ):
+            raise ValueError(
+                f"workload_spec[{key!r}] must be a scalar or sequence, "
+                f"got {type(value).__name__}"
+            )
+        normalized.append((key, value))
+    keys = [key for key, _ in normalized]
+    if len(set(keys)) != len(keys):
+        raise ValueError(f"duplicate workload_spec keys: {keys}")
+    return tuple(normalized)
+
+
 @dataclass(frozen=True)
 class TransactionClass:
     """One class in a multiclass workload mix.
@@ -139,6 +175,25 @@ class SimulationParameters:
     #: study directly.
     arrival_mode: str = ARRIVAL_CLOSED
     arrival_rate: float = 10.0
+    #: Workload model, by registry name (see :mod:`repro.workloads`):
+    #: ``closed_classic`` (the paper's terminal pool, the default),
+    #: ``open_poisson`` (Poisson or MMPP arrivals), ``heavy_tailed``
+    #: (lognormal/Pareto think and service-size distributions),
+    #: ``trace`` (deterministic JSONL playback with feedback routing).
+    #: Validated lazily at model construction, like ``resource_model``,
+    #: so plugin-registered models work without touching this module.
+    #: ``arrival_mode="open"`` with the default model resolves to
+    #: ``open_poisson`` (the legacy spelling of the same source).
+    workload_model: str = "closed_classic"
+    #: Model-specific options for ``workload_model``, as a mapping
+    #: (normalized to a sorted tuple of (key, value) pairs so parameter
+    #: sets stay hashable and signature-stable). Keys are defined by
+    #: each model: e.g. ``open_poisson`` takes ``process="mmpp"``,
+    #: ``rates``/``sojourns``; ``heavy_tailed`` takes ``preset``,
+    #: ``think_dist``, ``think_cv``, ``pareto_alpha``, ``size_dist``,
+    #: ``size_cv``; ``trace`` takes ``path``, ``feedback_prob``,
+    #: ``feedback_delay``, ``cycle``.
+    workload_spec: Optional[Tuple] = None
     #: Concurrency-control granularity: the database is divided into
     #: this many equal granules and CC requests (locks, timestamps,
     #: validation) operate on granules rather than objects — the
@@ -181,6 +236,11 @@ class SimulationParameters:
         ):
             object.__setattr__(
                 self, "workload_mix", tuple(self.workload_mix)
+            )
+        if self.workload_spec is not None:
+            object.__setattr__(
+                self, "workload_spec",
+                normalize_workload_spec(self.workload_spec),
             )
         if self.db_size < 1:
             raise ValueError(f"db_size must be >= 1, got {self.db_size}")
@@ -245,6 +305,21 @@ class SimulationParameters:
             raise ValueError(
                 f"arrival_rate must be > 0 for open arrivals, "
                 f"got {self.arrival_rate}"
+            )
+        if not self.workload_model or not isinstance(
+            self.workload_model, str
+        ):
+            raise ValueError(
+                f"workload_model must be a non-empty registry name, "
+                f"got {self.workload_model!r}"
+            )
+        if self.arrival_mode == ARRIVAL_OPEN and self.workload_model not in (
+            "closed_classic", "open_poisson"
+        ):
+            raise ValueError(
+                f"arrival_mode='open' is the legacy spelling of the "
+                f"open_poisson workload model; it cannot combine with "
+                f"workload_model={self.workload_model!r}"
             )
         if self.lock_granules is not None and not (
             1 <= self.lock_granules <= self.db_size
@@ -337,6 +412,12 @@ class SimulationParameters:
             * cls.write_prob
             for cls in self.workload_mix
         ) / total_weight
+
+    def workload_options(self):
+        """The normalized ``workload_spec`` as a plain dict ({} if unset)."""
+        if self.workload_spec is None:
+            return {}
+        return dict(self.workload_spec)
 
     def cc_unit_of(self, obj):
         """The concurrency-control unit (granule) covering ``obj``.

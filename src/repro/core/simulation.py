@@ -16,7 +16,7 @@ from typing import Any, Dict, Optional
 from repro.core.engine import SystemModel
 from repro.core.params import RunConfig, SimulationParameters
 from repro.obs.invariants import InvariantChecker, resolve_invariant_mode
-from repro.stats import BatchMeansAnalyzer
+from repro.stats import BatchMeansAnalyzer, assess_stability
 
 __all__ = ["SimulationResult", "run_simulation", "run_until_precision"]
 
@@ -43,6 +43,22 @@ def _collect_totals(model):
     buffer = model.physical.buffer_summary()
     if buffer is not None:
         totals["buffer"] = buffer
+    # Same conditional-key idiom for the workload tier: only
+    # open-system models add arrival accounting and the stability
+    # verdict, so closed_classic totals keep their exact byte layout.
+    workload_model = model.workload_model
+    if workload_model.open_system:
+        stability = assess_stability(
+            model.metrics.submissions.total,
+            model.metrics.commits.total,
+            model.env.now,
+            model.mpl_limit,
+        )
+        open_totals = stability.as_dict()
+        extra = workload_model.summary(model)
+        if extra is not None:
+            open_totals.update(extra)
+        totals["open_system"] = open_totals
     return totals
 
 
@@ -114,16 +130,36 @@ class SimulationResult:
     def summary(self):
         return self.analyzer.summary()
 
+    @property
+    def saturated(self):
+        """True when the open-system stability detector fired (closed
+        runs have no arrival process to saturate and report False)."""
+        open_totals = self.totals.get("open_system")
+        return bool(open_totals and open_totals.get("saturated"))
+
     def describe(self):
         """Short human-readable result line (used by examples/reports)."""
         tps = self.interval("throughput")
-        return (
+        line = (
             f"{self.algorithm:18s} mpl={self.params.mpl:<4d} "
             f"throughput={tps.mean:7.3f} ±{tps.half_width:.3f} tps  "
             f"resp={self.mean('response_time'):6.3f}s  "
             f"restarts/commit={self.mean('restart_ratio'):5.2f}  "
             f"blocks/commit={self.mean('block_ratio'):5.2f}"
         )
+        open_totals = self.totals.get("open_system")
+        if open_totals:
+            if open_totals.get("saturated"):
+                line += (
+                    f"  [SATURATED lambda="
+                    f"{open_totals['arrival_rate']:.2f}/s > capacity]"
+                )
+            else:
+                line += (
+                    f"  [open: lambda="
+                    f"{open_totals['arrival_rate']:.2f}/s stable]"
+                )
+        return line
 
 
 def run_simulation(params, algorithm="blocking", run=None, seed=None,

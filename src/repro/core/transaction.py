@@ -58,6 +58,7 @@ class Transaction:
         "cc_read_set",
         "cc_write_set",
         "tx_class",
+        "reentry_of",
     )
 
     def __init__(self, tx_id, terminal_id, read_set, write_set):
@@ -100,6 +101,11 @@ class Transaction:
         self.cc_write_set = write_set
         #: Workload-mix class name (None in the single-class model).
         self.tx_class = None
+        #: Id of the completed transaction whose feedback routing
+        #: spawned this one (trace workload model), or None for
+        #: first-entry work. Distinct from restarts: a re-entry is a
+        #: *new* transaction, with its own id and response time.
+        self.reentry_of = None
 
     # -- attempt lifecycle ---------------------------------------------------
 

@@ -47,6 +47,15 @@ class WorkloadGenerator:
         mix = self.params.workload_mix
         return mix[index] if index < len(mix) else mix[-1]
 
+    def _draw_size(self, min_size, max_size):
+        """Read-set size draw; the paper's Uniform[min_size, max_size].
+
+        The single hook subclasses override (see
+        ``repro.workloads.heavy_tailed.HeavyTailedGenerator``) to swap
+        the size distribution without touching the object/write draws.
+        """
+        return self._size_rng.uniform_int(min_size, max_size)
+
     def new_transaction(self, terminal_id):
         """A fresh transaction for ``terminal_id``."""
         params = self.params
@@ -57,7 +66,7 @@ class WorkloadGenerator:
         else:
             min_size, max_size = tx_class.min_size, tx_class.max_size
             write_prob = tx_class.write_prob
-        size = self._size_rng.uniform_int(min_size, max_size)
+        size = self._draw_size(min_size, max_size)
         if params.has_hotspot:
             read_set = self._skewed_read_set(size)
         else:

@@ -9,6 +9,7 @@ sequence.
 """
 
 import hashlib
+import math
 import random
 
 
@@ -80,6 +81,70 @@ class RandomStream:
             raise ValueError(f"p must be in [0, 1], got {p}")
         rand = self._rand
         return [rand() < p for _ in range(n)]
+
+    def lognormal(self, mean, cv):
+        """Sample a lognormal with the given mean and coefficient of
+        variation.
+
+        Parameterized by the *arithmetic* moments rather than the
+        underlying normal's (mu, sigma): sigma^2 = ln(1 + cv^2) and
+        mu = ln(mean) - sigma^2 / 2, so ``lognormal(m, cv)`` has
+        E[X] = m and CV[X] = cv exactly. A cv of 0 degenerates to the
+        constant ``mean`` without consuming generator state.
+        """
+        if mean <= 0:
+            raise ValueError(f"mean must be > 0, got {mean}")
+        if cv < 0:
+            raise ValueError(f"cv must be >= 0, got {cv}")
+        if cv == 0:
+            return mean
+        sigma2 = math.log(1.0 + cv * cv)
+        mu = math.log(mean) - sigma2 / 2.0
+        return self._random.lognormvariate(mu, math.sqrt(sigma2))
+
+    def lognormal_many(self, mean, cv, n):
+        """``n`` draws of :meth:`lognormal`, batched (same draws, in order)."""
+        if mean <= 0:
+            raise ValueError(f"mean must be > 0, got {mean}")
+        if cv < 0:
+            raise ValueError(f"cv must be >= 0, got {cv}")
+        if cv == 0:
+            return [mean] * n
+        sigma2 = math.log(1.0 + cv * cv)
+        mu = math.log(mean) - sigma2 / 2.0
+        sigma = math.sqrt(sigma2)
+        lognormvariate = self._random.lognormvariate
+        return [lognormvariate(mu, sigma) for _ in range(n)]
+
+    def pareto(self, alpha, mean):
+        """Sample a Pareto (Lomax-free, ``x >= xm``) with the given mean.
+
+        The scale is derived from the target mean: for shape
+        ``alpha > 1``, E[X] = alpha*xm/(alpha-1), so
+        xm = mean*(alpha-1)/alpha. Shapes <= 1 have no finite mean and
+        are rejected; 1 < alpha <= 2 has infinite variance — the
+        heavy-tail regime the ``heavy_tailed`` workload model studies.
+        """
+        if alpha <= 1.0:
+            raise ValueError(
+                f"alpha must be > 1 for a finite mean, got {alpha}"
+            )
+        if mean <= 0:
+            raise ValueError(f"mean must be > 0, got {mean}")
+        xm = mean * (alpha - 1.0) / alpha
+        return xm * self._random.paretovariate(alpha)
+
+    def pareto_many(self, alpha, mean, n):
+        """``n`` draws of :meth:`pareto`, batched (same draws, in order)."""
+        if alpha <= 1.0:
+            raise ValueError(
+                f"alpha must be > 1 for a finite mean, got {alpha}"
+            )
+        if mean <= 0:
+            raise ValueError(f"mean must be > 0, got {mean}")
+        xm = mean * (alpha - 1.0) / alpha
+        paretovariate = self._random.paretovariate
+        return [xm * paretovariate(alpha) for _ in range(n)]
 
     def sample_without_replacement(self, population_size, k):
         """``k`` distinct integers from range(population_size).

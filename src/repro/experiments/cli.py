@@ -30,6 +30,12 @@ Examples::
     repro-experiments --experiment exp7_buffered --quick
     repro-experiments --figure 8 --quick --resource-model buffered
 
+    # workload-model ablations: the same paper experiment with open
+    # Poisson arrivals, or with heavy-tailed think/size distributions
+    repro-experiments --figure 8 --quick --workload-model open_poisson \
+        --workload-spec rate=12
+    repro-experiments --experiment exp10_heavy_tailed --quick
+
     # observability: stream per-point event traces and sample the
     # queue/utilization time-series every 2 simulated seconds
     repro-experiments --figure 8 --quick --trace --trace-out traces \
@@ -59,6 +65,7 @@ from repro.experiments.runner import (
 from repro.faults import scenario, scenario_names
 from repro.obs.events import ALL_KINDS
 from repro.resources import resource_model_names
+from repro.workloads import workload_model_names
 
 
 def build_parser():
@@ -222,6 +229,25 @@ def build_parser():
             "default: each preset's own, usually classic)"
         ),
     )
+    parser.add_argument(
+        "--workload-model", default=None,
+        metavar="MODEL", dest="workload_model",
+        help=(
+            "overlay a workload model on every experiment "
+            f"(choices: {', '.join(workload_model_names())}; "
+            "default: each preset's own, usually closed_classic)"
+        ),
+    )
+    parser.add_argument(
+        "--workload-spec", default=None,
+        metavar="KEY=VALUE[,KEY=VALUE...]", dest="workload_spec",
+        help=(
+            "options for the workload model, e.g. "
+            "'rate=12,process=mmpp' for open_poisson or "
+            "'preset=web_sessions' for heavy_tailed "
+            "(requires --workload-model)"
+        ),
+    )
     observability = parser.add_argument_group(
         "observability",
         "stream instrumentation-bus events and periodic time-series "
@@ -350,6 +376,32 @@ def main(argv=None):
         parser, "--resource-model", args.resource_model,
         resource_model_names(), "resource model",
     )
+    _validate_registry_name(
+        parser, "--workload-model", args.workload_model,
+        workload_model_names(), "workload model",
+    )
+    if args.workload_spec is not None and args.workload_model is None:
+        parser.error("--workload-spec requires --workload-model")
+    if args.workload_spec is not None:
+        try:
+            args.workload_spec = _parse_workload_spec(args.workload_spec)
+        except ValueError as error:
+            parser.error(f"--workload-spec: {error}")
+    if args.workload_model is not None:
+        # Probe the model against Table 2 parameters so option typos
+        # (unknown keys, mmpp without rates, a missing trace file) are
+        # usage errors before any simulation starts.
+        from repro.core import SimulationParameters
+        from repro.workloads import create_workload_model
+
+        probe = SimulationParameters.table2().with_changes(
+            workload_model=args.workload_model,
+            workload_spec=args.workload_spec,
+        )
+        try:
+            create_workload_model(probe)
+        except (ValueError, OSError) as error:
+            parser.error(f"--workload-model: {error}")
     try:
         return _dispatch(args)
     except CheckpointMismatchError as error:
@@ -378,6 +430,52 @@ def _validate_registry_name(parser, flag, value, choices, what):
         f"{flag}: unknown {what} {value!r}{did_you_mean} "
         f"(choose from {', '.join(choices)})"
     )
+
+
+def _parse_workload_spec(text):
+    """``"rate=12,process=mmpp"`` -> ``{"rate": 12, "process": "mmpp"}``.
+
+    Values coerce to int, then float, then the booleans ``true``/
+    ``false``, and stay strings otherwise; a colon-separated run of
+    numbers (``rates=1:20``) becomes a tuple, for the mmpp list
+    options.  The workload model itself validates the keys against its
+    known options.
+    """
+    spec = {}
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        key, sep, raw = token.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ValueError(
+                f"expected KEY=VALUE, got {token!r}"
+            )
+        spec[key] = _coerce_spec_value(raw.strip())
+    if not spec:
+        raise ValueError("empty spec")
+    return spec
+
+
+def _coerce_spec_value(raw):
+    if ":" in raw:
+        parts = [_coerce_spec_scalar(p.strip()) for p in raw.split(":")]
+        if all(isinstance(p, (int, float)) for p in parts):
+            return tuple(parts)
+    return _coerce_spec_scalar(raw)
+
+
+def _coerce_spec_scalar(raw):
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for kind in (int, float):
+        try:
+            return kind(raw)
+        except ValueError:
+            continue
+    return raw
 
 
 def _parse_trace_kinds(text):
@@ -439,6 +537,8 @@ def _dispatch(args):
         progress=print_progress,
         inject=scenario(args.inject) if args.inject else None,
         resource_model=args.resource_model,
+        workload_model=args.workload_model,
+        workload_spec=args.workload_spec,
         checkpoint_dir=args.checkpoint,
         resume=args.resume,
         deadline=args.deadline,
@@ -494,6 +594,10 @@ def _run_single(args, run):
         params = params.with_changes(faults=scenario(args.inject))
     if args.resource_model:
         params = params.with_changes(resource_model=args.resource_model)
+    if args.workload_model:
+        params = params.with_changes(workload_model=args.workload_model)
+    if args.workload_spec is not None:
+        params = params.with_changes(workload_spec=args.workload_spec)
     sampler = sink = None
     subscribers = []
     if args.timeseries is not None:

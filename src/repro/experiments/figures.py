@@ -86,7 +86,10 @@ class FigureBuilder:
     ``inject`` overlays a :class:`~repro.faults.FaultSpec` onto every
     experiment's parameters (the CLI's ``--inject``);
     ``resource_model`` overlays a resource-model registry name the same
-    way (the CLI's ``--resource-model``); ``checkpoint_dir``
+    way (the CLI's ``--resource-model``); ``workload_model`` and
+    ``workload_spec`` overlay a workload-model registry name and its
+    option mapping (the CLI's ``--workload-model``/``--workload-spec``);
+    ``checkpoint_dir``
     checkpoints each experiment's sweep to
     ``<dir>/<experiment_id>.ckpt.jsonl`` (created on demand); other
     ``sweep_options`` are forwarded to :func:`run_sweep` verbatim
@@ -97,7 +100,8 @@ class FigureBuilder:
     """
 
     def __init__(self, run=None, mpls=None, algorithms=None, progress=None,
-                 inject=None, resource_model=None, checkpoint_dir=None,
+                 inject=None, resource_model=None, workload_model=None,
+                 workload_spec=None, checkpoint_dir=None,
                  **sweep_options):
         self.run = run or DEFAULT_RUN
         self.mpls = mpls
@@ -105,6 +109,8 @@ class FigureBuilder:
         self.progress = progress
         self.inject = inject
         self.resource_model = resource_model
+        self.workload_model = workload_model
+        self.workload_spec = workload_spec
         self.checkpoint_dir = checkpoint_dir
         self.sweep_options = sweep_options
         self._configs = experiment_configs()
@@ -132,6 +138,15 @@ class FigureBuilder:
                 params=config.params.with_changes(
                     resource_model=self.resource_model
                 ),
+            )
+        if self.workload_model is not None or self.workload_spec is not None:
+            changes = {}
+            if self.workload_model is not None:
+                changes["workload_model"] = self.workload_model
+            if self.workload_spec is not None:
+                changes["workload_spec"] = self.workload_spec
+            config = replace(
+                config, params=config.params.with_changes(**changes)
             )
         return config
 

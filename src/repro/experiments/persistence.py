@@ -351,6 +351,26 @@ class SweepCheckpoint:
     def _resource_model(self):
         return getattr(self.config.params, "resource_model", "classic")
 
+    def _workload_model(self):
+        """The resolved workload-model identity this sweep binds.
+
+        Resolved (not the raw field) so the legacy
+        ``arrival_mode="open"`` spelling and an explicit
+        ``workload_model="open_poisson"`` bind identically; the
+        normalized spec rides along because two grid points differing
+        only in spec draw different workloads.
+        """
+        from repro.workloads import resolve_workload_model
+
+        params = self.config.params
+        name = resolve_workload_model(params)
+        spec = getattr(params, "workload_spec", None)
+        if spec is None:
+            return name
+        # A flat string, so the identity JSON-round-trips exactly
+        # (tuples would come back as lists and spuriously mismatch).
+        return name + " " + json.dumps(spec)
+
     def start_fresh(self):
         """Atomically (re)create the file holding only the header line."""
         header = {
@@ -359,6 +379,7 @@ class SweepCheckpoint:
             "run": asdict(self.run),
             "faults": self._faults_signature(),
             "resource_model": self._resource_model(),
+            "workload_model": self._workload_model(),
             "backend": self.backend,
             "replications": self.replications,
         }
@@ -418,6 +439,16 @@ class SweepCheckpoint:
                 f"{self.path}: checkpoint resource model "
                 f"{header.get('resource_model', 'classic')!r} does not "
                 f"match {self._resource_model()!r}"
+            )
+        # Checkpoints written before workload models existed carry no
+        # key; they were all implicitly the paper's closed model.
+        if (header.get("workload_model", "closed_classic")
+                != self._workload_model()):
+            raise CheckpointMismatchError(
+                f"{self.path}: checkpoint workload model "
+                f"{header.get('workload_model', 'closed_classic')!r} "
+                f"does not match {self._workload_model()!r}; a sweep "
+                f"never resumes under a different arrival process"
             )
         # Same convention for execution backends: headers written
         # before the fast lane existed default to the classic backend

@@ -66,6 +66,7 @@ from repro.experiments.runner import (
 from repro.fastlane.kernel import drain_until
 from repro.fastlane.tapes import TapeStore
 from repro.stats import BatchMeansAnalyzer
+from repro.workloads import create_workload_model
 
 __all__ = ["run_batched_points", "run_point_replications"]
 
@@ -189,6 +190,10 @@ def run_batched_points(sweep, pending, config, run, deadline,
     for (algorithm, mpl), reps in groups.items():
         params = config.params_for(mpl)
         point_invariants = spot_modes.get((algorithm, mpl), invariants)
+        # Non-tapeable workload models (trace playback) build their own
+        # content source inside the model; everything else replays a
+        # shared tape.
+        tapeable = create_workload_model(params).tapeable
         # A partially resumed point still needs the whole trajectory
         # prefix up to its last missing replication.
         replications = max(reps) + 1
@@ -214,7 +219,10 @@ def run_batched_points(sweep, pending, config, run, deadline,
             try:
                 results = run_point_replications(
                     params, algorithm, attempt_run, replications,
-                    workload=store.workload(params, attempt_run.seed),
+                    workload=(
+                        store.workload(params, attempt_run.seed)
+                        if tapeable else None
+                    ),
                     batch_callback=watchdog,
                     invariants=point_invariants,
                 )

@@ -20,8 +20,8 @@ simulation replaying a tape can alias the same tuples.
 """
 
 from repro.core.transaction import Transaction
-from repro.core.workload import WorkloadGenerator
 from repro.des import StreamFactory
+from repro.workloads import create_workload_model, resolve_workload_model
 
 __all__ = ["TapeStore", "TapeWorkload", "WorkloadTape",
            "workload_signature"]
@@ -55,6 +55,13 @@ def workload_signature(params, seed):
         params.hot_fraction,
         params.hot_access_prob,
         mix_signature,
+        # The workload-model identity: two grid points differing only
+        # in workload_model (or its spec) draw different content
+        # sequences — e.g. heavy_tailed's size distribution — and must
+        # never share a tape. Resolved, so the legacy
+        # arrival_mode="open" spelling keys the same as open_poisson.
+        resolve_workload_model(params),
+        params.workload_spec,
     )
 
 
@@ -80,8 +87,19 @@ class WorkloadTape:
         self.specs = []
         # The tape's private generator over a private stream factory:
         # same seed derivation, same draw code, therefore the same
-        # sequence every model-owned generator would produce.
-        self._generator = WorkloadGenerator(params, StreamFactory(seed))
+        # sequence every model-owned generator would produce. Built
+        # through the workload model so tapes replay whatever content
+        # source the model supplies (heavy-tailed sizes included).
+        workload_model = create_workload_model(params)
+        if not workload_model.tapeable:
+            raise ValueError(
+                f"workload model {workload_model.name!r} is not "
+                f"tapeable; the batched backend must build a per-model "
+                f"source instead"
+            )
+        self._generator = workload_model.build_generator(
+            params, StreamFactory(seed)
+        )
 
     def __len__(self):
         return len(self.specs)

@@ -13,6 +13,12 @@ points), so any run can be audited by attaching it:
   restart limbo (aborted, not yet resubmitted), or committed; the
   per-transaction lifecycle automaton (submit -> admit -> commit |
   restart -> resubmit -> ...) admits no other move;
+* **flow balance under re-entry** — workload models with feedback
+  routing (the ``trace`` model) may submit a *new* transaction when an
+  old one completes; each re-entry carries ``reentry_of``, so the
+  conservation identity generalizes per routing class: re-entries
+  never exceed completions, and a class never completes more
+  transactions than it submitted;
 * **simulated-clock monotonicity** — event timestamps never decrease;
 * **admission control** — an admission never exceeds the (possibly
   adaptively retuned) multiprogramming limit in force when it happens;
@@ -169,6 +175,10 @@ class InvariantChecker:
         self._ready = 0
         self._active = 0
         self._limbo = 0
+        # Flow-balance state for feedback/re-entry routing.
+        self._reentries = 0
+        self._class_submitted = {}  # routing class -> submissions
+        self._class_committed = {}  # routing class -> completions
         # Resource pairing state: resource key -> (busy count, capacity).
         self._busy = {}
         # Lock table for the exclusivity check: obj -> [writer, readers].
@@ -237,10 +247,30 @@ class InvariantChecker:
         self._phase[tx.id] = _READY
         self._ready += 1
 
+    @staticmethod
+    def _routing_class(tx):
+        return getattr(tx, "tx_class", None) or "default"
+
     def _on_submit(self, time, fields):
         self._tick(time)
         tx = fields["tx"]
         self._submitted += 1
+        cls = self._routing_class(tx)
+        self._class_submitted[cls] = self._class_submitted.get(cls, 0) + 1
+        if getattr(tx, "reentry_of", None) is not None:
+            self._reentries += 1
+            # Flow balance: a re-entry is routed from a completion, so
+            # re-entries can never outnumber completed transactions.
+            if self._reentries > self._committed:
+                self._violate(
+                    time, "flow_balance",
+                    f"{self._reentries} re-entries exceed "
+                    f"{self._committed} completions (tx {tx.id} "
+                    f"re-enters from tx {tx.reentry_of})",
+                    tx=tx.id, reentry_of=tx.reentry_of,
+                    reentries=self._reentries,
+                    committed=self._committed,
+                )
         self._enter_ready(time, tx, TX_SUBMIT, None)
         self._check_conservation(time)
 
@@ -364,6 +394,21 @@ class InvariantChecker:
         self._commit_point.discard(tx.id)
         self._active -= 1
         self._committed += 1
+        cls = self._routing_class(tx)
+        committed = self._class_committed.get(cls, 0) + 1
+        self._class_committed[cls] = committed
+        # Per-class flow balance: completions of a routing class never
+        # exceed its submissions (the classwise refinement of the
+        # global conservation identity, valid under re-entry because a
+        # re-entry is a fresh submission of the same class).
+        if committed > self._class_submitted.get(cls, 0):
+            self._violate(
+                time, "flow_balance",
+                f"class {cls!r} completed {committed} transactions but "
+                f"submitted only {self._class_submitted.get(cls, 0)}",
+                tx=tx.id, routing_class=cls, committed=committed,
+                submitted=self._class_submitted.get(cls, 0),
+            )
         self._release_locks(tx.id)
         self._check_conservation(time)
 
@@ -498,12 +543,22 @@ class InvariantChecker:
 
     def report(self):
         """JSON-serializable summary for ``result.diagnostics``."""
-        return {
+        payload = {
             "mode": self.mode,
             "events_checked": self.events_checked,
             "violations": [v.to_dict() for v in self.violations],
             "suppressed": self.suppressed,
         }
+        if self._reentries:
+            payload["reentries"] = self._reentries
+            payload["flow"] = {
+                cls: {
+                    "submitted": self._class_submitted.get(cls, 0),
+                    "completed": self._class_committed.get(cls, 0),
+                }
+                for cls in sorted(self._class_submitted)
+            }
+        return payload
 
     def __repr__(self):
         return (

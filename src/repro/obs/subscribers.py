@@ -91,6 +91,10 @@ class MetricsSubscriber:
         ready = metrics.ready_queue_level
         active = metrics.active_level
 
+        def submit(time, fields):
+            metrics.record_submit(fields["tx"])
+            ready.add(1)
+
         def enqueue(time, fields):
             ready.add(1)
 
@@ -110,7 +114,7 @@ class MetricsSubscriber:
             active.add(-1)
 
         return {
-            TX_SUBMIT: enqueue,
+            TX_SUBMIT: submit,
             TX_RESUBMIT: enqueue,
             TX_ADMIT: admit,
             TX_BLOCK: block,

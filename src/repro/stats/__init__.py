@@ -16,6 +16,7 @@ from repro.stats.timeweighted import TimeWeighted
 from repro.stats.confidence import ConfidenceInterval, t_quantile
 from repro.stats.batch_means import BatchMeansAnalyzer, BatchSeries
 from repro.stats.quantile import P2Quantile
+from repro.stats.stability import StabilityReport, assess_stability
 
 __all__ = [
     "Welford",
@@ -25,4 +26,6 @@ __all__ = [
     "BatchMeansAnalyzer",
     "BatchSeries",
     "P2Quantile",
+    "StabilityReport",
+    "assess_stability",
 ]

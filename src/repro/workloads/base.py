@@ -1,0 +1,98 @@
+"""The workload-model service interface.
+
+A workload model owns *transaction origination*: where transactions
+come from (a closed terminal pool, an open arrival stream, a recorded
+trace), when they are submitted, and what content generator draws their
+read/write sets. Everything below the origination layer — admission
+control, CC algorithms, the physical tier, metrics — is untouched by a
+model swap, exactly as the resource-model registry decouples the
+physical tier (DESIGN.md section 13).
+
+The engine's side of the contract is small:
+
+* ``model.submit(tx)`` — stamp and enqueue a freshly drawn transaction
+  (the engine assigns ``done_event``, ``first_submit_time`` and the
+  priority timestamp, then applies mpl admission);
+* ``model.workload.new_transaction(terminal_id)`` — the content source
+  built by :meth:`WorkloadModel.build_generator` (or a caller-supplied
+  replacement such as a fastlane tape);
+* ``model.streams`` / ``model.env`` — named seeded streams and the
+  event loop, for think/arrival timing processes.
+"""
+
+from repro.core.workload import WorkloadGenerator
+
+__all__ = ["WorkloadModel"]
+
+
+class WorkloadModel:
+    """Base class for registered workload models.
+
+    Subclasses set ``name`` (the registry key) and override
+    :meth:`start` to spawn their origination processes. ``__init__``
+    receives the full :class:`~repro.core.params.SimulationParameters`
+    and should parse/validate its ``workload_spec`` options eagerly, so
+    a bad spec fails at model construction rather than mid-run.
+    """
+
+    #: Registry key; subclasses must override.
+    name = ""
+
+    #: True for models without a fixed closed population: arrivals are
+    #: externally timed, nobody waits on completions, and the backlog
+    #: can grow without bound. Enables the open-system metrics and the
+    #: saturation detector.
+    open_system = False
+
+    #: False when the transaction *content* sequence is not a pure
+    #: function of (params, seed) drawn by a WorkloadGenerator — e.g.
+    #: trace playback. Non-tapeable models opt out of the fastlane's
+    #: shared workload tapes; the batched backend then lets each model
+    #: build its own source.
+    tapeable = True
+
+    def __init__(self, params):
+        self.params = params
+        self.options = params.workload_options()
+
+    def build_generator(self, params, streams):
+        """The content source drawing each transaction's sets.
+
+        The default is the paper's :class:`WorkloadGenerator`;
+        models may return a subclass (heavy-tailed sizes) or a
+        different source entirely (trace playback).
+        """
+        return WorkloadGenerator(params, streams)
+
+    def start(self, model):
+        """Spawn this model's origination processes into ``model.env``."""
+        raise NotImplementedError
+
+    def summary(self, model):
+        """Model-specific totals for the run report, or None.
+
+        Open-system models return arrival/completion accounting and
+        the stability verdict here; closed models return None so the
+        classic totals dict stays byte-identical.
+        """
+        return None
+
+    def _require_option(self, key):
+        value = self.options.get(key)
+        if value is None:
+            raise ValueError(
+                f"workload model {self.name!r} requires "
+                f"workload_spec[{key!r}]"
+            )
+        return value
+
+    def _unknown_options(self, known):
+        unknown = sorted(set(self.options) - set(known))
+        if unknown:
+            raise ValueError(
+                f"unknown workload_spec keys for {self.name!r}: "
+                f"{unknown}; known keys: {sorted(known)}"
+            )
+
+    def __repr__(self):
+        return f"<{type(self).__name__} name={self.name!r}>"

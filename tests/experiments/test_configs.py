@@ -23,6 +23,8 @@ class TestConfigs:
             "exp6_disk_faults",
             "exp7_buffered",
             "exp8_skewed_disks",
+            "exp9_open_poisson",
+            "exp10_heavy_tailed",
         }
 
     def test_every_paper_figure_covered(self):

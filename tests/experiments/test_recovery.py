@@ -39,6 +39,7 @@ from repro.experiments.errors import (
 from repro.experiments.persistence import (
     CRC_SEPARATOR,
     decode_checkpoint_line,
+    encode_checkpoint_line,
 )
 from repro.obs import InvariantViolation, InvariantViolationError
 
@@ -265,6 +266,72 @@ class TestVerifyCheckpointCli:
         cli_main(["--verify-checkpoint", path])
         with open(path, "rb") as f:
             assert f.read() == before  # no repair without --resume
+
+
+class TestWorkloadModelBinding:
+    """The checkpoint header binds the workload model: a sweep never
+    resumes under a different arrival process."""
+
+    def _open_config(self, spec=None):
+        return tiny_config(
+            params=tiny_params().with_changes(
+                workload_model="open_poisson",
+                workload_spec=spec if spec is not None else {"rate": 4.0},
+            )
+        )
+
+    def test_mismatched_workload_model_rejected(self, tmp_path):
+        path = str(tmp_path / "tiny.ckpt.jsonl")
+        run_sweep(tiny_config(), run=TINY_RUN, mpls=[2], checkpoint=path)
+        with pytest.raises(CheckpointMismatchError, match="workload"):
+            run_sweep(self._open_config(), run=TINY_RUN, mpls=[2],
+                      checkpoint=path, resume=True)
+
+    def test_mismatched_workload_spec_rejected(self, tmp_path):
+        # Same model, different spec: still a different arrival
+        # process, still refused.
+        path = str(tmp_path / "tiny.ckpt.jsonl")
+        run_sweep(self._open_config({"rate": 4.0}), run=TINY_RUN,
+                  mpls=[2], checkpoint=path)
+        with pytest.raises(CheckpointMismatchError, match="workload"):
+            run_sweep(self._open_config({"rate": 8.0}), run=TINY_RUN,
+                      mpls=[2], checkpoint=path, resume=True)
+
+    def test_workload_model_round_trips_through_checkpoint(
+            self, tmp_path):
+        path = str(tmp_path / "tiny.ckpt.jsonl")
+        config = self._open_config()
+        run_sweep(config, run=TINY_RUN, mpls=[2], checkpoint=path)
+        with open(path) as f:
+            header = decode_checkpoint_line(
+                f.readline(), require_crc=False
+            )
+        assert header["workload_model"].startswith("open_poisson")
+        resumed = run_sweep(config, run=TINY_RUN, mpls=[2],
+                            checkpoint=path, resume=True)
+        assert resumed.status("blocking", 2).status == STATUS_OK
+
+    def test_header_without_workload_model_means_closed_classic(
+            self, tmp_path):
+        # Checkpoints written before the workload-model layer carry no
+        # workload_model key; they must keep resuming under the default
+        # closed model and refuse anything else.
+        path = str(tmp_path / "tiny.ckpt.jsonl")
+        run_sweep(tiny_config(), run=TINY_RUN, mpls=[2], checkpoint=path)
+        with open(path) as f:
+            lines = f.read().splitlines()
+        header = decode_checkpoint_line(lines[0], require_crc=False)
+        del header["workload_model"]
+        points = [decode_checkpoint_line(line) for line in lines[1:]]
+        with open(path, "w") as f:
+            for document in [header] + points:
+                f.write(encode_checkpoint_line(document))
+        resumed = run_sweep(tiny_config(), run=TINY_RUN, mpls=[2],
+                            checkpoint=path, resume=True)
+        assert resumed.status("blocking", 2).status == STATUS_OK
+        with pytest.raises(CheckpointMismatchError, match="workload"):
+            run_sweep(self._open_config(), run=TINY_RUN, mpls=[2],
+                      checkpoint=path, resume=True)
 
 
 class TestRetryBackoff:

@@ -115,6 +115,36 @@ class TestSignature:
         assert base not in variants
         assert len(set(variants)) == len(variants)
 
+    def test_tracks_the_workload_model(self):
+        # Two grid points differing only in workload_model draw
+        # different content sequences and must never share a tape.
+        base = workload_signature(PARAMS, 11)
+        heavy = workload_signature(
+            PARAMS.with_changes(workload_model="heavy_tailed"), 11
+        )
+        assert heavy != base
+
+    def test_tracks_the_workload_spec(self):
+        heavy = PARAMS.with_changes(workload_model="heavy_tailed")
+        base = workload_signature(heavy, 11)
+        tweaked = workload_signature(
+            heavy.with_changes(workload_spec={"size_cv": 4.0}), 11
+        )
+        assert tweaked != base
+
+    def test_legacy_open_spelling_keys_like_open_poisson(self):
+        # arrival_mode="open" resolves to the open_poisson model; the
+        # signature must not distinguish the two spellings (identical
+        # content draws), but arrival timing knobs stay invisible.
+        legacy = workload_signature(
+            PARAMS.with_changes(arrival_mode="open", arrival_rate=5.0),
+            11,
+        )
+        explicit = workload_signature(
+            PARAMS.with_changes(workload_model="open_poisson"), 11
+        )
+        assert legacy == explicit
+
 
 class TestTapeStore:
     def test_grid_points_share_one_tape(self):
@@ -137,3 +167,29 @@ class TestTapeStore:
         b = store.workload(PARAMS, 12)
         assert a.tape is not b.tape
         assert store.hits == 0 and store.misses == 2
+
+    def test_different_workload_models_never_share(self):
+        store = TapeStore()
+        classic = store.workload(PARAMS, 11)
+        heavy = store.workload(
+            PARAMS.with_changes(workload_model="heavy_tailed"), 11
+        )
+        assert heavy.tape is not classic.tape
+        assert store.hits == 0 and store.misses == 2
+        # And the heavy-tailed tape really carries heavy-tailed
+        # content: its size draws differ from the uniform tape's.
+        sizes = lambda w: [  # noqa: E731
+            len(w.new_transaction(terminal_id=0).read_set)
+            for _ in range(64)
+        ]
+        assert sizes(heavy) != sizes(classic)
+
+    def test_non_tapeable_models_are_refused(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text('{"reads": [1, 2], "writes": [2]}\n')
+        params = PARAMS.with_changes(
+            workload_model="trace",
+            workload_spec={"path": str(trace)},
+        )
+        with pytest.raises(ValueError, match="not .*tapeable"):
+            WorkloadTape(params, 11)

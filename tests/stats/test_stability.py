@@ -1,0 +1,78 @@
+"""The open-system stability detector: pure arithmetic, pinned edges."""
+
+import pytest
+
+from repro.stats import assess_stability
+from repro.stats.stability import BACKLOG_FLOOR, DRAIN_THRESHOLD
+
+
+class TestVerdict:
+    def test_draining_run_is_stable(self):
+        report = assess_stability(1000, 990, 100.0, mpl=10)
+        assert not report.saturated
+        assert report.in_system == 10
+        assert report.drain_ratio == pytest.approx(0.99)
+
+    def test_diverging_run_is_saturated(self):
+        report = assess_stability(2000, 500, 100.0, mpl=10)
+        assert report.saturated
+        assert report.arrival_rate == pytest.approx(20.0)
+        assert report.completion_rate == pytest.approx(5.0)
+
+    def test_full_admission_queue_alone_is_not_saturation(self):
+        # Backlog of 2*mpl exactly: a full-but-draining queue.
+        report = assess_stability(10_000, 10_000 - 2 * 100, 100.0,
+                                  mpl=100)
+        assert not report.saturated
+
+    def test_startup_transient_below_floor_is_not_saturation(self):
+        # Tiny absolute backlog with a terrible drain ratio: too early
+        # to call.
+        report = assess_stability(60, 20, 1.0, mpl=2)
+        assert report.in_system == 40 < BACKLOG_FLOOR
+        assert not report.saturated
+
+    def test_large_backlog_with_good_drain_is_not_saturation(self):
+        submitted = 100_000
+        completed = int(submitted * (DRAIN_THRESHOLD + 0.01))
+        report = assess_stability(submitted, completed, 100.0, mpl=10)
+        assert report.in_system > BACKLOG_FLOOR
+        assert not report.saturated
+
+
+class TestEdges:
+    def test_empty_window_is_trivially_stable(self):
+        report = assess_stability(0, 0, 0.0, mpl=5)
+        assert not report.saturated
+        assert report.arrival_rate == 0.0
+        assert report.drain_ratio == 1.0
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(ValueError, match="elapsed"):
+            assess_stability(1, 1, -1.0, mpl=5)
+
+    def test_completions_cannot_exceed_submissions(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            assess_stability(5, 6, 1.0, mpl=5)
+
+
+class TestSerialization:
+    def test_as_dict_round_trips_every_field(self):
+        report = assess_stability(100, 90, 10.0, mpl=5)
+        payload = report.as_dict()
+        assert payload["submitted"] == 100
+        assert payload["completed"] == 90
+        assert payload["in_system"] == 10
+        assert payload["saturated"] is False
+        assert set(payload) == {
+            "submitted", "completed", "elapsed", "arrival_rate",
+            "completion_rate", "in_system", "drain_ratio", "saturated",
+        }
+
+    def test_describe_names_the_verdict(self):
+        assert "SATURATED" in assess_stability(
+            2000, 500, 100.0, mpl=10
+        ).describe()
+        assert "stable" in assess_stability(
+            100, 99, 10.0, mpl=10
+        ).describe()
