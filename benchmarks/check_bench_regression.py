@@ -1,15 +1,17 @@
 """Compare a pytest-benchmark JSON against a checked-in baseline.
 
-CI runs ``bench_engine_micro.py`` into ``bench_engine_ci.json`` and
-``bench_sweep.py`` into ``bench_sweep_ci.json``, then calls this script
-once per file, which diffs every benchmark against the pinned baseline
-(``BENCH_engine.json`` / ``BENCH_sweep.json`` at the repository root)
-and **fails** when a gated benchmark is more than ``--threshold``
-slower than the baseline. Gated are the end-to-end runs — the
-full-model engine benchmark and the two batched-lane sweep benchmarks
-— which average over enough work to be stable on shared runners; the
-narrower microbenchmarks and the classic-lane speedup denominators are
-reported but only warn.
+CI runs ``bench_engine_micro.py`` into ``bench_engine_ci.json``,
+``bench_sweep.py`` into ``bench_sweep_ci.json`` and
+``bench_surrogate.py`` into ``bench_surrogate_ci.json``, then calls
+this script once per file, which diffs every benchmark against the
+pinned baseline (``BENCH_engine.json`` / ``BENCH_sweep.json`` /
+``BENCH_surrogate.json`` at the repository root) and **fails** when a
+gated benchmark is more than ``--threshold`` slower than the
+baseline. Gated are the end-to-end runs — the full-model engine
+benchmark, the two batched-lane sweep benchmarks, and the surrogate
+exploration block — which average over enough work to be stable on
+shared runners; the narrower microbenchmarks and the classic-lane
+speedup denominators are reported but only warn.
 
 For the sweep benchmarks the script also reports the measured
 classic/batched speedup per grid shape, so the fast lane's advantage
@@ -21,6 +23,8 @@ Usage::
         [--baseline BENCH_engine.json] [--threshold 0.10]
     python benchmarks/check_bench_regression.py bench_sweep_ci.json \
         --baseline BENCH_sweep.json
+    python benchmarks/check_bench_regression.py bench_surrogate_ci.json \
+        --baseline BENCH_surrogate.json
 
 Exit status: 0 = within threshold, 1 = gated regression, 2 = bad input
 (missing file, no gated benchmark present).
@@ -37,6 +41,7 @@ GATED_BENCHMARKS = (
     "test_full_model_bus_fast_path",
     "test_sweep_batched_lane_r4",
     "test_sweep_batched_lane_r12",
+    "test_surrogate_explore_block",
 )
 
 #: (classic, batched, label) benchmark pairs whose wall-clock ratio is

@@ -62,21 +62,40 @@ def network_for_params(params):
 def mva_prediction(params, population=None):
     """Contention-free MVA solution for a configuration.
 
-    ``population`` defaults to the terminal count. The prediction
+    ``population`` defaults to the terminal count (``None`` is the
+    sentinel: an explicit non-positive population is a ValueError, it
+    never silently falls back to ``num_terms``). The prediction
     ignores the mpl admission limit and all data contention, so it is
     exact (modulo deterministic-vs-exponential service) only for the
     ``noop`` baseline with mpl >= num_terms, and an upper bound
     otherwise.
     """
-    population = population or params.num_terms
+    if population is None:
+        population = params.num_terms
+    elif population < 1:
+        raise ValueError(f"population must be >= 1, got {population}")
     return solve_closed_network(network_for_params(params), population)
 
 
 def predicted_curve(params, populations=None):
-    """[(population, predicted throughput)] over a population sweep."""
-    top = max(populations) if populations else params.num_terms
+    """[(population, predicted throughput)] over a population sweep.
+
+    ``populations`` of ``None`` sweeps 1..``num_terms``; an explicit
+    empty sequence is a ValueError (it is not a request for the
+    default sweep), as is any non-positive population in it.
+    """
+    if populations is not None:
+        populations = list(populations)
+        if not populations:
+            raise ValueError(
+                "populations must be a non-empty sequence or None"
+            )
+        bad = [p for p in populations if p < 1]
+        if bad:
+            raise ValueError(f"populations must be >= 1, got {bad}")
+    top = max(populations) if populations is not None else params.num_terms
     curve = solve_curve(network_for_params(params), top)
-    wanted = set(populations) if populations else None
+    wanted = set(populations) if populations is not None else None
     return [
         (result.population, result.throughput)
         for result in curve

@@ -77,10 +77,19 @@ class MvaResult:
     utilizations: Dict[str, float] = field(default_factory=dict)
 
     def bottleneck(self):
-        """Name of the center with the highest utilization."""
+        """Name of the center with the highest utilization.
+
+        Equally-utilized centers (e.g. identical disks) tie-break by
+        center name, so the answer never depends on dict insertion
+        order and reports are deterministic.
+        """
         if not self.utilizations:
             return None
-        return max(self.utilizations, key=self.utilizations.get)
+        best = max(self.utilizations.values())
+        return min(
+            name for name, util in self.utilizations.items()
+            if util == best
+        )
 
 
 def solve_closed_network(centers, population):

@@ -44,6 +44,13 @@ Examples::
 
     # one diagnostic run of a single algorithm (no sweep)
     repro-experiments --single blocking --mpl 50 --quick --trace
+
+    # analytic surrogate: calibrate against simulation, then sweep a
+    # 100k+-point parameter space through the calibrated model with
+    # simulation spot-checks of the uncertain corners
+    repro-experiments calibrate --quick --out calibration.json
+    repro-experiments explore --coeffs calibration.json \
+        --spot-checks 3 --quick --out exploration.json
 """
 
 import argparse
@@ -78,6 +85,19 @@ def build_parser():
         ),
     )
     what = parser.add_mutually_exclusive_group()
+    what.add_argument(
+        "command", nargs="?", choices=("calibrate", "explore"),
+        metavar="COMMAND",
+        help=(
+            "analytic-surrogate commands: 'calibrate' fits the "
+            "surrogate's correction coefficients against a seeded "
+            "simulation grid and reports per-point divergence (exit 1 "
+            "if the overall median exceeds 10%%); 'explore' sweeps a "
+            "huge configuration space through the calibrated "
+            "surrogate and spot-checks flagged points with real "
+            "simulation"
+        ),
+    )
     what.add_argument(
         "--experiment",
         choices=sorted(experiment_configs()),
@@ -248,6 +268,52 @@ def build_parser():
             "(requires --workload-model)"
         ),
     )
+    surrogate = parser.add_argument_group(
+        "analytic surrogate",
+        "options for the 'calibrate' and 'explore' commands",
+    )
+    surrogate.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the calibration/exploration report JSON to PATH",
+    )
+    surrogate.add_argument(
+        "--no-fit", action="store_true",
+        help=(
+            "calibrate: skip the coefficient fit and validate the "
+            "baked-in defaults against the grid instead"
+        ),
+    )
+    surrogate.add_argument(
+        "--coeffs", metavar="PATH", default=None,
+        help=(
+            "explore: use the coefficients and calibration boundary "
+            "from a saved calibration report instead of the baked-in "
+            "defaults"
+        ),
+    )
+    surrogate.add_argument(
+        "--space", choices=("default", "smoke"), default="default",
+        help=(
+            "explore: the configuration space to sweep (smoke is a "
+            "tiny CI-sized space; default covers 113,400 evaluations)"
+        ),
+    )
+    surrogate.add_argument(
+        "--uncertainty-threshold", type=float, default=1.0,
+        metavar="X", dest="uncertainty_threshold",
+        help=(
+            "explore: flag predictions whose uncertainty score "
+            "exceeds X (1.0 = the calibration boundary; default: 1.0)"
+        ),
+    )
+    surrogate.add_argument(
+        "--spot-checks", type=int, default=0, metavar="N",
+        dest="spot_checks",
+        help=(
+            "explore: re-check the N most uncertain flagged points "
+            "with real simulation (default: 0 = none)"
+        ),
+    )
     observability = parser.add_argument_group(
         "observability",
         "stream instrumentation-bus events and periodic time-series "
@@ -302,6 +368,41 @@ def resolve_run(args):
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command is None:
+        for flag, value, default in (
+            ("--out", args.out, None),
+            ("--no-fit", args.no_fit, False),
+            ("--coeffs", args.coeffs, None),
+            ("--space", args.space, "default"),
+            ("--uncertainty-threshold", args.uncertainty_threshold, 1.0),
+            ("--spot-checks", args.spot_checks, 0),
+        ):
+            if value != default:
+                parser.error(
+                    f"{flag} requires the calibrate or explore command"
+                )
+    else:
+        explore_only = (
+            ("--coeffs", args.coeffs, None),
+            ("--space", args.space, "default"),
+            ("--uncertainty-threshold", args.uncertainty_threshold, 1.0),
+            ("--spot-checks", args.spot_checks, 0),
+        )
+        if args.command == "calibrate":
+            for flag, value, default in explore_only:
+                if value != default:
+                    parser.error(f"{flag} applies to explore only")
+        elif args.no_fit:
+            parser.error("--no-fit applies to calibrate only")
+        if args.uncertainty_threshold <= 0:
+            parser.error(
+                f"--uncertainty-threshold must be > 0, got "
+                f"{args.uncertainty_threshold}"
+            )
+        if args.spot_checks < 0:
+            parser.error(
+                f"--spot-checks must be >= 0, got {args.spot_checks}"
+            )
     if args.resume and args.checkpoint is None:
         parser.error("--resume requires --checkpoint")
     if args.retries < 0:
@@ -528,6 +629,10 @@ def _dispatch(args):
     if args.verify_checkpoint is not None:
         return _verify_checkpoint(args.verify_checkpoint)
     run = resolve_run(args)
+    if args.command == "calibrate":
+        return _run_calibrate(args, run)
+    if args.command == "explore":
+        return _run_explore(args, run)
     if args.single is not None:
         return _run_single(args, run)
     builder = FigureBuilder(
@@ -581,6 +686,83 @@ def _dispatch(args):
         _export_timeseries_csv(sweeps, args.timeseries_csv)
     # Partial results exit 1 so schedulers notice degraded sweeps.
     return 0 if all(sweep.complete for sweep in sweeps) else 1
+
+
+#: The calibration acceptance gate: overall median absolute relative
+#: error of the calibrated surrogate on the grid.
+CALIBRATION_GATE = 0.10
+
+
+def _run_calibrate(args, run):
+    """The ``calibrate`` command: fit, validate, report, gate."""
+    from repro.analytic.calibrate import run_calibration
+
+    report = run_calibration(
+        run=run, fit=not args.no_fit, progress=print_progress,
+        workers=args.workers,
+    )
+    mode = "validated baked-in" if args.no_fit else "fitted"
+    print(f"calibration ({mode} coefficients, seed {report.seed}):")
+    for algorithm in sorted(report.coefficients):
+        if not report.points_for(algorithm):
+            continue
+        coeffs = report.coefficients[algorithm]
+        divergence = report.divergence(algorithm)
+        print(
+            f"  {algorithm:18s} alpha={coeffs.alpha:.6f} "
+            f"beta={coeffs.beta:.6f}  |err| median="
+            f"{divergence.median:.1%} max={divergence.max:.1%} "
+            f"({divergence.count} points)"
+        )
+    overall = report.divergence()
+    print(
+        f"  overall            |err| median={overall.median:.1%} "
+        f"max={overall.max:.1%} ({overall.count} points)"
+    )
+    print(f"  calibration boundary: contention index {report.max_index:g}")
+    if args.out:
+        report.save(args.out)
+        print(f"[wrote calibration report to {args.out}]", file=sys.stderr)
+    if overall.median > CALIBRATION_GATE:
+        print(
+            f"calibration gate FAILED: median {overall.median:.1%} > "
+            f"{CALIBRATION_GATE:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _run_explore(args, run):
+    """The ``explore`` command: surrogate sweep + simulation spot-checks."""
+    from repro.analytic.calibrate import CalibrationReport
+    from repro.analytic.explore import (
+        default_space,
+        explore,
+        smoke_space,
+    )
+
+    coeffs = max_index = None
+    if args.coeffs:
+        calibration = CalibrationReport.load(args.coeffs)
+        coeffs = calibration.coefficients
+        max_index = calibration.max_index
+    space = smoke_space() if args.space == "smoke" else default_space()
+    report = explore(
+        space=space,
+        coeffs=coeffs,
+        max_index=max_index,
+        threshold=args.uncertainty_threshold,
+        spot_check_budget=args.spot_checks,
+        run=run,
+        progress=print_progress,
+        workers=args.workers,
+    )
+    print(report.summary())
+    if args.out:
+        report.save(args.out)
+        print(f"[wrote exploration report to {args.out}]", file=sys.stderr)
+    return 0
 
 
 def _run_single(args, run):

@@ -15,6 +15,13 @@ from repro.stats.welford import Welford
 from repro.stats.timeweighted import TimeWeighted
 from repro.stats.confidence import ConfidenceInterval, t_quantile
 from repro.stats.batch_means import BatchMeansAnalyzer, BatchSeries
+from repro.stats.divergence import (
+    DivergenceSummary,
+    abs_relative_error,
+    log_ratio,
+    median,
+    summarize_divergence,
+)
 from repro.stats.quantile import P2Quantile
 from repro.stats.stability import StabilityReport, assess_stability
 
@@ -25,6 +32,11 @@ __all__ = [
     "t_quantile",
     "BatchMeansAnalyzer",
     "BatchSeries",
+    "DivergenceSummary",
+    "abs_relative_error",
+    "log_ratio",
+    "median",
+    "summarize_divergence",
     "P2Quantile",
     "StabilityReport",
     "assess_stability",

@@ -1,0 +1,81 @@
+"""Divergence math for model-vs-simulation validation reports.
+
+Small, dependency-free helpers shared by the analytic-surrogate
+calibration (:mod:`repro.analytic.calibrate`) and its tests: per-point
+relative errors plus an order-statistics summary. Kept in the stats
+package so validation arithmetic is tested once, not re-derived inside
+every report writer.
+"""
+
+import math
+from dataclasses import dataclass
+
+
+def abs_relative_error(predicted, actual):
+    """|predicted - actual| / |actual|.
+
+    ``actual`` of zero only compares equal to a zero prediction
+    (error 0.0); any other prediction against a zero truth is an
+    infinite relative error, never a ZeroDivisionError.
+    """
+    if actual == 0.0:
+        return 0.0 if predicted == 0.0 else math.inf
+    return abs(predicted - actual) / abs(actual)
+
+
+def log_ratio(predicted, actual):
+    """ln(predicted / actual) — the symmetric fitting residual.
+
+    Unlike the relative error, over- and under-prediction by the same
+    factor score the same magnitude, which is what a least-squares fit
+    of multiplicative coefficients wants. Both arguments must be
+    positive.
+    """
+    if predicted <= 0.0 or actual <= 0.0:
+        raise ValueError(
+            f"log_ratio needs positive values, got "
+            f"predicted={predicted}, actual={actual}"
+        )
+    return math.log(predicted / actual)
+
+
+def median(values):
+    """Plain median (mean of the middle pair for even counts)."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("median of an empty sequence")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+@dataclass(frozen=True)
+class DivergenceSummary:
+    """Order statistics of a batch of per-point divergences."""
+
+    count: int
+    median: float
+    mean: float
+    max: float
+
+    def as_dict(self):
+        return {
+            "count": self.count,
+            "median": self.median,
+            "mean": self.mean,
+            "max": self.max,
+        }
+
+
+def summarize_divergence(errors):
+    """DivergenceSummary over an iterable of per-point errors."""
+    errors = list(errors)
+    if not errors:
+        raise ValueError("summarize_divergence of an empty sequence")
+    return DivergenceSummary(
+        count=len(errors),
+        median=median(errors),
+        mean=sum(errors) / len(errors),
+        max=max(errors),
+    )

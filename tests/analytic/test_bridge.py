@@ -9,10 +9,57 @@ must upper-bound every real algorithm.
 
 import pytest
 
-from repro.analytic import mva_prediction, network_for_params
+from repro.analytic import (
+    mva_prediction,
+    network_for_params,
+    predicted_curve,
+)
 from repro.core import RunConfig, SimulationParameters, run_simulation
 
 RUN = RunConfig(batches=5, batch_time=20.0, warmup_batches=1, seed=33)
+
+
+class TestPopulationSentinels:
+    """population/populations use `is None` sentinels: an explicit
+    zero or empty sweep is caller error, never a silent fallback to
+    `num_terms` (the bug this class regresses against).
+    """
+
+    def test_population_zero_raises(self):
+        with pytest.raises(ValueError, match="population"):
+            mva_prediction(SimulationParameters.table2(), population=0)
+
+    def test_population_negative_raises(self):
+        with pytest.raises(ValueError, match="population"):
+            mva_prediction(SimulationParameters.table2(), population=-3)
+
+    def test_population_none_defaults_to_terminals(self):
+        params = SimulationParameters.table2(num_terms=7)
+        assert mva_prediction(params).population == 7
+
+    def test_explicit_population_honored(self):
+        params = SimulationParameters.table2(num_terms=200)
+        assert mva_prediction(params, population=3).population == 3
+
+    def test_empty_populations_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            predicted_curve(SimulationParameters.table2(), populations=[])
+
+    def test_nonpositive_population_in_sweep_raises(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            predicted_curve(
+                SimulationParameters.table2(), populations=[5, 0]
+            )
+
+    def test_curve_none_sweeps_to_terminals(self):
+        params = SimulationParameters.table2(num_terms=9)
+        curve = predicted_curve(params)
+        assert [pop for pop, _ in curve] == list(range(1, 10))
+
+    def test_curve_explicit_subset(self):
+        params = SimulationParameters.table2(num_terms=200)
+        curve = predicted_curve(params, populations=[2, 5])
+        assert [pop for pop, _ in curve] == [2, 5]
 
 
 class TestNetworkConstruction:

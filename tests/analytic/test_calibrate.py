@@ -1,0 +1,164 @@
+"""Calibration: reproducibility, fit determinism, report round-trips.
+
+Simulation-backed tests use a deliberately tiny one-scenario grid so
+the whole module stays CI-cheap; the fit itself is exercised both on
+real simulation output and on synthetic samples generated *from the
+surrogate* (where the ground-truth coefficients are known and the
+descent must drive the residual to ~zero).
+"""
+
+import pytest
+
+from repro.analytic.calibrate import (
+    CALIBRATED_ALGORITHMS,
+    CalibrationPoint,
+    CalibrationReport,
+    calibration_grid,
+    fit_coefficients,
+    run_calibration,
+    simulate_grid,
+    _objective,
+)
+from repro.analytic.contention import (
+    CorrectionCoefficients,
+    surrogate_prediction,
+)
+from repro.core import SimulationParameters
+from repro.experiments.runner import QUICK_RUN
+
+TINY_GRID = [
+    ("tiny", SimulationParameters.table2(db_size=400), (5, 10)),
+]
+
+
+def synthetic_samples(algorithm, coeffs):
+    """Grid samples whose 'simulated' truth is the surrogate itself."""
+    samples = []
+    for scenario, params, mpls in TINY_GRID:
+        for mpl in mpls:
+            truth = surrogate_prediction(
+                params.with_changes(mpl=mpl), algorithm, coeffs
+            ).throughput
+            samples.append((scenario, params, algorithm, mpl, truth))
+    return samples
+
+
+class TestGrid:
+    def test_default_grid_shape(self):
+        grid = calibration_grid()
+        scenarios = [scenario for scenario, _, _ in grid]
+        assert scenarios == ["table2", "hot", "cool", "write_heavy"]
+        for _, params, mpls in grid:
+            assert mpls
+            assert params.db_size > 0
+
+    def test_simulate_grid_orders_points(self):
+        samples = simulate_grid(run=QUICK_RUN, grid=TINY_GRID)
+        assert len(samples) == len(CALIBRATED_ALGORITHMS) * 2
+        assert [s[2] for s in samples] == [
+            algorithm
+            for algorithm in CALIBRATED_ALGORITHMS
+            for _ in (5, 10)
+        ]
+        assert all(s[4] > 0.0 for s in samples)
+
+
+class TestFitDeterminism:
+    def test_same_samples_same_fit(self):
+        samples = synthetic_samples(
+            "blocking", CorrectionCoefficients(0.3, 2.0)
+        )
+        assert fit_coefficients(samples) == fit_coefficients(samples)
+
+    def test_fit_recovers_synthetic_truth(self):
+        truth = CorrectionCoefficients(0.3, 2.0)
+        samples = synthetic_samples("blocking", truth)
+        fitted = fit_coefficients(samples)
+        assert _objective(samples, fitted) < 1e-3
+
+    def test_fit_improves_on_start(self):
+        samples = synthetic_samples(
+            "optimistic", CorrectionCoefficients(0.1, 3.0)
+        )
+        start = CorrectionCoefficients(1.0, 1.0)
+        fitted = fit_coefficients(samples, start=start)
+        assert _objective(samples, fitted) <= _objective(samples, start)
+
+
+class TestReproducibility:
+    def test_fixed_seed_reproduces_report(self):
+        first = run_calibration(run=QUICK_RUN, grid=TINY_GRID)
+        second = run_calibration(run=QUICK_RUN, grid=TINY_GRID)
+        assert first.coefficients == second.coefficients
+        assert first.points == second.points
+        assert first.max_index == second.max_index
+        assert first.seed == QUICK_RUN.seed
+
+    def test_no_fit_validates_defaults(self):
+        from repro.analytic.contention import DEFAULT_COEFFS
+
+        report = run_calibration(
+            run=QUICK_RUN, grid=TINY_GRID, fit=False
+        )
+        assert report.coefficients == DEFAULT_COEFFS
+
+
+class TestReport:
+    def make_report(self):
+        return CalibrationReport(
+            coefficients={
+                "noop": CorrectionCoefficients(0.0, 0.0),
+                "blocking": CorrectionCoefficients(0.25, 5.0),
+            },
+            points=[
+                CalibrationPoint(
+                    scenario="tiny", algorithm="blocking", mpl=5,
+                    simulated=5.0, predicted=5.5, abs_rel_error=0.1,
+                    contention_index=1.0,
+                ),
+                CalibrationPoint(
+                    scenario="tiny", algorithm="blocking", mpl=10,
+                    simulated=4.0, predicted=3.2, abs_rel_error=0.2,
+                    contention_index=2.0,
+                ),
+                CalibrationPoint(
+                    scenario="tiny", algorithm="optimistic", mpl=5,
+                    simulated=5.0, predicted=2.5, abs_rel_error=0.5,
+                    contention_index=1.0,
+                ),
+            ],
+            max_index=2.0,
+            seed=42,
+        )
+
+    def test_divergence_math(self):
+        report = self.make_report()
+        blocking = report.divergence("blocking")
+        assert blocking.count == 2
+        assert blocking.median == pytest.approx(0.15)
+        assert blocking.max == pytest.approx(0.2)
+        overall = report.divergence()
+        assert overall.count == 3
+        assert overall.median == pytest.approx(0.2)
+        assert overall.mean == pytest.approx((0.1 + 0.2 + 0.5) / 3)
+
+    def test_points_for_filters_by_algorithm(self):
+        report = self.make_report()
+        assert [p.mpl for p in report.points_for("blocking")] == [5, 10]
+        assert report.points_for("noop") == []
+
+    def test_json_roundtrip(self):
+        report = self.make_report()
+        restored = CalibrationReport.from_json(report.to_json())
+        assert restored.coefficients == report.coefficients
+        assert restored.points == report.points
+        assert restored.max_index == report.max_index
+        assert restored.seed == report.seed
+
+    def test_save_load(self, tmp_path):
+        report = self.make_report()
+        path = tmp_path / "calibration.json"
+        report.save(str(path))
+        restored = CalibrationReport.load(str(path))
+        assert restored.points == report.points
+        assert restored.coefficients == report.coefficients

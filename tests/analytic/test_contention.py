@@ -1,0 +1,221 @@
+"""The contention-corrected surrogate: solver properties and physics.
+
+Three layers of evidence: structural invariants (convergence, regime
+selection, determinism), limiting cases that must agree with the
+contention-free MVA exactly (read-only workloads, zero coefficients),
+and the qualitative physics the paper demands (thrashing, algorithm
+ordering under contention) — plus one real cross-validation of the
+noop baseline against the discrete-event simulator.
+"""
+
+import pytest
+
+from repro.analytic.contention import (
+    DEFAULT_COEFFS,
+    DEFAULT_MAX_INDEX,
+    SUPPORTED_ALGORITHMS,
+    CorrectionCoefficients,
+    compact_network,
+    optimal_mpl,
+    surrogate_curve,
+    surrogate_prediction,
+)
+from repro.core import RunConfig, SimulationParameters, run_simulation
+
+BASE = SimulationParameters.table2()
+HOT = BASE.with_changes(db_size=300)
+
+
+class TestValidation:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="no contention terms"):
+            surrogate_prediction(BASE.with_changes(mpl=5), "certified")
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            CorrectionCoefficients(-0.1, 1.0)
+
+    def test_negative_beta_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            CorrectionCoefficients(1.0, -2.0)
+
+    def test_default_coefficients_cover_all_algorithms(self):
+        assert set(DEFAULT_COEFFS) == set(SUPPORTED_ALGORITHMS)
+
+    def test_noop_default_coefficients_are_zero(self):
+        assert DEFAULT_COEFFS["noop"] == CorrectionCoefficients(0.0, 0.0)
+
+
+class TestSolverInvariants:
+    @pytest.mark.parametrize("algorithm", SUPPORTED_ALGORITHMS)
+    @pytest.mark.parametrize("mpl", [1, 5, 25, 100, 200])
+    def test_converges_everywhere(self, algorithm, mpl):
+        prediction = surrogate_prediction(
+            HOT.with_changes(mpl=mpl), algorithm
+        )
+        assert prediction.converged
+        assert prediction.throughput > 0.0
+
+    @pytest.mark.parametrize("algorithm", SUPPORTED_ALGORITHMS)
+    def test_deterministic(self, algorithm):
+        params = HOT.with_changes(mpl=25)
+        assert surrogate_prediction(
+            params, algorithm
+        ) == surrogate_prediction(params, algorithm)
+
+    def test_mpl_at_population_binds_population(self):
+        prediction = surrogate_prediction(
+            BASE.with_changes(mpl=BASE.num_terms), "blocking"
+        )
+        assert prediction.binding == "population"
+
+    def test_small_mpl_binds_admission(self):
+        prediction = surrogate_prediction(
+            BASE.with_changes(mpl=2), "noop"
+        )
+        assert prediction.binding == "admission"
+
+    def test_m_eff_never_exceeds_mpl(self):
+        for mpl in (2, 10, 50, 200):
+            prediction = surrogate_prediction(
+                HOT.with_changes(mpl=mpl), "blocking"
+            )
+            assert prediction.m_eff <= mpl + 1e-6
+
+    def test_disk_collapse_matches_disk_count(self):
+        _, few = compact_network(BASE.with_changes(num_disks=2))
+        _, many = compact_network(BASE.with_changes(num_disks=8))
+        # Same group structure regardless of disk count: the disks
+        # fold into one counted group, so solver cost is flat.
+        assert len(few) == len(many)
+
+
+class TestContentionFreeLimits:
+    @pytest.mark.parametrize(
+        "algorithm", ["blocking", "immediate_restart"]
+    )
+    def test_read_only_equals_noop(self, algorithm):
+        """Shared read locks never conflict: a read-only workload must
+        reduce to the contention-free baseline exactly."""
+        params = BASE.with_changes(write_prob=0.0, mpl=25)
+        noop = surrogate_prediction(params, "noop")
+        corrected = surrogate_prediction(params, algorithm)
+        assert corrected.throughput == pytest.approx(
+            noop.throughput, rel=1e-9
+        )
+        assert corrected.contention_index == 0.0
+
+    def test_zero_coefficients_equal_noop(self):
+        params = HOT.with_changes(mpl=50)
+        noop = surrogate_prediction(params, "noop")
+        zeroed = surrogate_prediction(
+            params, "blocking", CorrectionCoefficients(0.0, 0.0)
+        )
+        assert zeroed.throughput == pytest.approx(
+            noop.throughput, rel=1e-9
+        )
+
+    def test_noop_monotone_in_mpl(self):
+        curve = surrogate_curve(BASE, "noop", (1, 2, 5, 10, 25, 50))
+        throughputs = [p.throughput for _, p in curve]
+        assert throughputs == sorted(throughputs)
+
+
+class TestContentionPhysics:
+    def test_blocking_thrashes(self):
+        """The wait-chain cascade must make throughput *decline* past
+        the thrashing point, not merely saturate."""
+        peak = surrogate_prediction(
+            HOT.with_changes(mpl=10), "blocking"
+        )
+        thrashed = surrogate_prediction(
+            HOT.with_changes(mpl=100), "blocking"
+        )
+        assert thrashed.throughput < 0.9 * peak.throughput
+
+    def test_restart_algorithms_decline_under_contention(self):
+        for algorithm in ("immediate_restart", "optimistic"):
+            low = surrogate_prediction(
+                HOT.with_changes(mpl=10), algorithm
+            )
+            high = surrogate_prediction(
+                HOT.with_changes(mpl=50), algorithm
+            )
+            assert high.throughput < low.throughput
+
+    def test_contention_hurts(self):
+        for algorithm in ("blocking", "immediate_restart", "optimistic"):
+            cool = surrogate_prediction(
+                BASE.with_changes(db_size=5000, mpl=25), algorithm
+            )
+            hot = surrogate_prediction(
+                BASE.with_changes(db_size=300, mpl=25), algorithm
+            )
+            assert hot.throughput < cool.throughput
+
+    def test_blocking_blocked_time_grows_with_mpl(self):
+        low = surrogate_prediction(HOT.with_changes(mpl=5), "blocking")
+        high = surrogate_prediction(HOT.with_changes(mpl=50), "blocking")
+        assert high.blocked_time > low.blocked_time > 0.0
+
+    def test_optimal_mpl_interior_under_contention(self):
+        mpl, prediction = optimal_mpl(
+            HOT, "immediate_restart", (5, 10, 25, 50, 100, 200)
+        )
+        assert mpl < 200
+        assert prediction.throughput > 0.0
+
+
+class TestUncertainty:
+    def test_read_only_never_uncertain(self):
+        prediction = surrogate_prediction(
+            BASE.with_changes(write_prob=0.0, mpl=200), "blocking"
+        )
+        assert prediction.uncertainty() == 0.0
+        assert not prediction.uncertain()
+
+    def test_extreme_contention_flagged(self):
+        prediction = surrogate_prediction(
+            BASE.with_changes(
+                db_size=50, max_size=24, write_prob=1.0, mpl=200
+            ),
+            "blocking",
+        )
+        assert prediction.clamped
+        assert prediction.uncertainty() >= 2.0
+        assert prediction.uncertain()
+
+    def test_uncertainty_scales_with_boundary(self):
+        # A mild, unclamped point: the score is index/boundary, so
+        # halving the boundary doubles it.
+        prediction = surrogate_prediction(
+            BASE.with_changes(mpl=25), "blocking"
+        )
+        assert not prediction.clamped
+        assert prediction.uncertainty() > 0.0
+        assert prediction.uncertainty(
+            max_index=DEFAULT_MAX_INDEX / 2
+        ) == pytest.approx(2 * prediction.uncertainty())
+
+    def test_mild_contention_not_flagged(self):
+        prediction = surrogate_prediction(
+            BASE.with_changes(db_size=5000, mpl=5), "blocking"
+        )
+        assert not prediction.uncertain()
+
+
+class TestNoopSimulatorAgreement:
+    """The satellite cross-check: on the contention-free baseline the
+    surrogate *is* the MVA substrate, and it must track the
+    discrete-event simulator within CI-friendly tolerance."""
+
+    RUN = RunConfig(batches=5, batch_time=20.0, warmup_batches=1, seed=33)
+
+    @pytest.mark.parametrize("mpl", [2, 10, 50])
+    def test_noop_throughput_within_tolerance(self, mpl):
+        params = BASE.with_changes(mpl=mpl)
+        simulated = run_simulation(
+            params, algorithm="noop", run=self.RUN
+        ).throughput
+        predicted = surrogate_prediction(params, "noop").throughput
+        assert predicted == pytest.approx(simulated, rel=0.10)

@@ -125,6 +125,72 @@ class TestClosedForms:
             )
 
 
+class TestMultiServerExactness:
+    """Audit `_update_marginals`/`_multi_server_residence` (the
+    load-dependent marginal recursion) against the exact finite-source
+    M/M/c birth-death solution — the closed-form the Erlang-C family
+    reduces to in a closed network.
+    """
+
+    @pytest.mark.parametrize(
+        "servers,demand,n",
+        [
+            (2, 1.0, 5),
+            (2, 0.2, 3),
+            (3, 0.5, 10),
+            (4, 1.0, 4),
+            (5, 2.0, 20),
+            (8, 3.0, 30),
+        ],
+    )
+    def test_matches_exact_birth_death(self, servers, demand, n):
+        think = 2.0
+        result = solve_closed_network(
+            [
+                Center("think", DELAY, think),
+                Center("pool", MULTI_SERVER, demand, servers=servers),
+            ],
+            population=n,
+        )
+        exact = machine_repairman_throughput(n, think, demand, servers)
+        assert result.throughput == pytest.approx(exact, rel=1e-8)
+
+    def test_marginals_little_law_consistency(self):
+        # The marginal recursion's queue length must agree with the
+        # residence-time route to the same quantity at every population.
+        centers = [
+            Center("think", DELAY, 4.0),
+            Center("pool", MULTI_SERVER, 1.5, servers=3),
+        ]
+        for result in solve_curve(centers, 25):
+            assert result.queue_lengths["pool"] == pytest.approx(
+                result.throughput * result.residence_times["pool"],
+                rel=1e-9,
+            )
+
+
+class TestBottleneckDeterminism:
+    def test_tie_breaks_by_center_name(self):
+        # Two identical disks: equally utilized by symmetry. The
+        # bottleneck must be the lexicographically first name whatever
+        # order the centers were listed in.
+        for order in (("disk0", "disk1"), ("disk1", "disk0")):
+            centers = [Center("think", DELAY, 1.0)] + [
+                Center(name, QUEUEING, 0.35) for name in order
+            ]
+            result = solve_closed_network(centers, 20)
+            assert (
+                result.utilizations["disk0"]
+                == result.utilizations["disk1"]
+            )
+            assert result.bottleneck() == "disk0"
+
+    def test_empty_utilizations(self):
+        from repro.analytic.mva import MvaResult
+
+        assert MvaResult(1, 0.0, 0.0).bottleneck() is None
+
+
 class TestProperties:
     def centers(self):
         return [

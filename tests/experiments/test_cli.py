@@ -374,3 +374,68 @@ class TestBackendFlags:
         ])
         assert code == 0
         assert "Figure 8" in capsys.readouterr().out
+
+
+class TestSurrogateCommands:
+    """The analytic-surrogate ``calibrate``/``explore`` commands."""
+
+    def test_calibrate_parses(self):
+        args = build_parser().parse_args(["calibrate", "--quick"])
+        assert args.command == "calibrate"
+
+    def test_explore_parses_with_options(self):
+        args = build_parser().parse_args([
+            "explore", "--space", "smoke", "--spot-checks", "3",
+            "--uncertainty-threshold", "0.5",
+        ])
+        assert args.command == "explore"
+        assert args.space == "smoke"
+        assert args.spot_checks == 3
+        assert args.uncertainty_threshold == 0.5
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["calibrat"])
+
+    def test_command_excludes_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["calibrate", "--experiment", "exp3_finite"]
+            )
+
+    def test_command_excludes_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "--figure", "8"])
+
+    def test_surrogate_flags_require_command(self):
+        with pytest.raises(SystemExit):
+            main(["--all", "--out", "report.json"])
+        with pytest.raises(SystemExit):
+            main(["--figure", "8", "--spot-checks", "1"])
+
+    def test_no_fit_is_calibrate_only(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "--no-fit"])
+
+    def test_explore_flags_are_explore_only(self):
+        with pytest.raises(SystemExit):
+            main(["calibrate", "--space", "smoke"])
+        with pytest.raises(SystemExit):
+            main(["calibrate", "--spot-checks", "1"])
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "--uncertainty-threshold", "0"])
+
+    def test_spot_checks_must_be_non_negative(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "--spot-checks", "-1"])
+
+    def test_explore_smoke_runs(self, capsys, tmp_path):
+        out = tmp_path / "exploration.json"
+        code = main(["explore", "--space", "smoke", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "explored" in captured
+        assert "flagged" in captured

@@ -1,0 +1,90 @@
+"""Validation-report divergence math (repro.stats.divergence)."""
+
+import math
+
+import pytest
+
+from repro.stats import (
+    DivergenceSummary,
+    abs_relative_error,
+    log_ratio,
+    median,
+    summarize_divergence,
+)
+
+
+class TestAbsRelativeError:
+    def test_exact_match_is_zero(self):
+        assert abs_relative_error(5.0, 5.0) == 0.0
+
+    def test_overprediction(self):
+        assert abs_relative_error(6.0, 5.0) == pytest.approx(0.2)
+
+    def test_underprediction_same_magnitude(self):
+        assert abs_relative_error(4.0, 5.0) == pytest.approx(0.2)
+
+    def test_zero_actual_zero_predicted(self):
+        assert abs_relative_error(0.0, 0.0) == 0.0
+
+    def test_zero_actual_nonzero_predicted_is_inf(self):
+        assert abs_relative_error(1.0, 0.0) == math.inf
+
+    def test_negative_actual_uses_magnitude(self):
+        assert abs_relative_error(-4.0, -5.0) == pytest.approx(0.2)
+
+
+class TestLogRatio:
+    def test_symmetric_in_direction(self):
+        up = log_ratio(2.0, 1.0)
+        down = log_ratio(1.0, 2.0)
+        assert up == pytest.approx(-down)
+
+    def test_exact_match_is_zero(self):
+        assert log_ratio(3.0, 3.0) == 0.0
+
+    def test_nonpositive_predicted_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            log_ratio(0.0, 1.0)
+
+    def test_nonpositive_actual_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            log_ratio(1.0, -2.0)
+
+
+class TestMedian:
+    def test_odd_count(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_count_averages_middle_pair(self):
+        assert median([4.0, 1.0, 3.0, 2.0]) == 2.5
+
+    def test_single_value(self):
+        assert median([7.0]) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            median([])
+
+
+class TestSummarizeDivergence:
+    def test_summary_fields(self):
+        summary = summarize_divergence([0.1, 0.3, 0.2])
+        assert summary == DivergenceSummary(
+            count=3, median=0.2, mean=pytest.approx(0.2), max=0.3
+        )
+
+    def test_accepts_generator(self):
+        summary = summarize_divergence(x / 10 for x in range(1, 5))
+        assert summary.count == 4
+        assert summary.median == pytest.approx(0.25)
+        assert summary.max == pytest.approx(0.4)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize_divergence([])
+
+    def test_as_dict(self):
+        summary = summarize_divergence([0.5])
+        assert summary.as_dict() == {
+            "count": 1, "median": 0.5, "mean": 0.5, "max": 0.5,
+        }
