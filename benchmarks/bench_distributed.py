@@ -1,0 +1,53 @@
+"""Benchmarks of the distributed resource model and the 2PC seam.
+
+Two end-to-end measurements and one overhead guard:
+
+* ``test_distributed_four_node_2pc`` — the full multi-site stack (4
+  nodes, exponential network legs, replica reads, two-phase commit)
+  through a complete SystemModel run. Gated in CI against
+  ``BENCH_distributed.json`` at the 10% threshold, like the engine and
+  sweep benchmarks.
+* ``test_distributed_one_node_parity_path`` — the same model at one
+  node with zero delay: the configuration the golden-parity suite pins
+  bit-identical to ``classic``. Reported (not gated) as the
+  denominator for the topology's intrinsic cost.
+* ``test_classic_commit_seam_overhead`` — the classic model after the
+  commit-protocol seam landed. The null protocol adds one truth test
+  per commit; this run shadows ``test_full_model_bus_fast_path`` so a
+  regression in the seam itself (rather than the distributed tier)
+  shows up attributed correctly.
+"""
+
+from repro.core import SimulationParameters, SystemModel
+
+FINITE = SimulationParameters(
+    db_size=200, min_size=4, max_size=8, write_prob=0.25,
+    num_terms=25, mpl=10, ext_think_time=1.0,
+    obj_io=0.01, obj_cpu=0.005, num_cpus=1, num_disks=2,
+)
+
+
+def _run(params, seed=11, until=25.0):
+    model = SystemModel(params, "blocking", seed=seed)
+    model.run_until(until)
+    return model.metrics.commits.total
+
+
+def test_distributed_four_node_2pc(benchmark):
+    """4 nodes, 5 ms network legs, RF=2 replica reads, 2PC commits."""
+    params = FINITE.with_changes(
+        resource_model="distributed", nodes=4, network_delay=0.005,
+        replication_factor=2, commit_protocol="2pc",
+    )
+    assert benchmark(lambda: _run(params)) > 0
+
+
+def test_distributed_one_node_parity_path(benchmark):
+    """The degenerate topology: bit-identical to classic, near-free."""
+    params = FINITE.with_changes(resource_model="distributed", nodes=1)
+    assert benchmark(lambda: _run(params)) > 0
+
+
+def test_classic_commit_seam_overhead(benchmark):
+    """Classic model through the null commit protocol (the seam cost)."""
+    assert benchmark(lambda: _run(FINITE)) > 0

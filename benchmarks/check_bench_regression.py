@@ -1,15 +1,18 @@
 """Compare a pytest-benchmark JSON against a checked-in baseline.
 
 CI runs ``bench_engine_micro.py`` into ``bench_engine_ci.json``,
-``bench_sweep.py`` into ``bench_sweep_ci.json`` and
-``bench_surrogate.py`` into ``bench_surrogate_ci.json``, then calls
-this script once per file, which diffs every benchmark against the
-pinned baseline (``BENCH_engine.json`` / ``BENCH_sweep.json`` /
-``BENCH_surrogate.json`` at the repository root) and **fails** when a
+``bench_sweep.py`` into ``bench_sweep_ci.json``,
+``bench_surrogate.py`` into ``bench_surrogate_ci.json`` and
+``bench_distributed.py`` into ``bench_distributed_ci.json``, then
+calls this script once per file, which diffs every benchmark against
+the pinned baseline (``BENCH_engine.json`` / ``BENCH_sweep.json`` /
+``BENCH_surrogate.json`` / ``BENCH_distributed.json`` at the
+repository root) and **fails** when a
 gated benchmark is more than ``--threshold`` slower than the
 baseline. Gated are the end-to-end runs — the full-model engine
-benchmark, the two batched-lane sweep benchmarks, and the surrogate
-exploration block — which average over enough work to be stable on
+benchmark, the two batched-lane sweep benchmarks, the surrogate
+exploration block, and the four-node 2PC distributed run
+— which average over enough work to be stable on
 shared runners; the narrower microbenchmarks and the classic-lane
 speedup denominators are reported but only warn.
 
@@ -42,6 +45,7 @@ GATED_BENCHMARKS = (
     "test_sweep_batched_lane_r4",
     "test_sweep_batched_lane_r12",
     "test_surrogate_explore_block",
+    "test_distributed_four_node_2pc",
 )
 
 #: (classic, batched, label) benchmark pairs whose wall-clock ratio is

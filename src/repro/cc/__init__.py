@@ -13,8 +13,10 @@ from repro.cc.base import (
     DELAY_NONE,
     INSTALL_AT_FINALIZE,
     INSTALL_AT_PRE_COMMIT,
+    CommitProtocol,
     ConcurrencyControl,
     EngineHooks,
+    SingleSiteCommit,
     cc_units_read,
     cc_units_written,
 )
@@ -37,11 +39,15 @@ from repro.cc.optimistic import OptimisticCC
 from repro.cc.registry import (
     PAPER_ALGORITHMS,
     algorithm_names,
+    commit_protocol_names,
     create_algorithm,
+    create_commit_protocol,
     register_algorithm,
+    register_commit_protocol,
 )
 from repro.cc.static_locking import StaticLockingCC
 from repro.cc.timestamp import MIN_TS, BasicTimestampOrderingCC
+from repro.cc.two_phase_commit import TwoPhaseCommit
 from repro.cc.wait_die import WaitDieCC
 from repro.cc.waits_for import (
     build_waits_for,
@@ -80,10 +86,16 @@ __all__ = [
     "INSTALL_AT_PRE_COMMIT",
     "INSTALL_AT_FINALIZE",
     "MIN_TS",
+    "CommitProtocol",
+    "SingleSiteCommit",
+    "TwoPhaseCommit",
     "PAPER_ALGORITHMS",
     "algorithm_names",
     "create_algorithm",
     "register_algorithm",
+    "commit_protocol_names",
+    "create_commit_protocol",
+    "register_commit_protocol",
     "build_waits_for",
     "find_cycle_containing",
     "find_any_cycle",

@@ -143,3 +143,69 @@ class ConcurrencyControl:
     def describe(self):
         """One-line human description (used in reports)."""
         return type(self).__doc__.strip().splitlines()[0]
+
+
+class CommitProtocol:
+    """The commit-point seam: what happens *around* ``cc.pre_commit``.
+
+    The engine historically treated commit as a single atomic point.
+    This seam splits it into the classic two-phase-commit shape without
+    changing any algorithm: a *prepare window* runs just before the
+    algorithm's own ``pre_commit`` (vote collection — for 2PL the locks
+    are naturally still held, for optimistic the validation that
+    follows *is* the local vote), and a *decision stage* runs after the
+    writes install (distributing the outcome), still before
+    ``finalize_commit`` releases CC state. A protocol composes with
+    every registered algorithm because it only brackets the existing
+    commit path; it never touches the algorithm's conflict logic.
+
+    ``prepare``/``decide`` are generators driven with ``yield from``
+    inside the transaction process, so protocols charge real service
+    (network legs) through the attached model's physical tier. The
+    engine consults :attr:`is_null` once per model and skips both
+    generators entirely for null protocols — the paper's single-site
+    commit path stays bit-identical to pre-seam builds.
+    """
+
+    #: Registry name, e.g. ``"2pc"``.
+    name = None
+    #: True when the protocol adds nothing to the commit path; the
+    #: engine then never builds the prepare/decide generators at all.
+    is_null = True
+
+    def __init__(self):
+        self.model = None
+
+    def attach(self, model):
+        """Bind the protocol to its :class:`~repro.core.engine.SystemModel`."""
+        self.model = model
+        return self
+
+    def prepare(self, tx):
+        """Vote-collection stage, run immediately before ``pre_commit``.
+
+        A generator: yield service events (network legs) as needed.
+        Raising :class:`~repro.cc.errors.RestartTransaction` here aborts
+        the attempt exactly like a CC conflict would.
+        """
+        return
+        yield  # pragma: no cover - generator shape
+
+    def decide(self, tx):
+        """Decision-distribution stage, run after the writes install."""
+        return
+        yield  # pragma: no cover - generator shape
+
+    def abort(self, tx):
+        """Discard protocol state for an aborted attempt of ``tx``."""
+
+    def describe(self):
+        """One-line human description (used in reports)."""
+        return type(self).__doc__.strip().splitlines()[0]
+
+
+class SingleSiteCommit(CommitProtocol):
+    """The paper's atomic commit point: no distributed handshake."""
+
+    name = "single_site"
+    is_null = True

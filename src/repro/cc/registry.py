@@ -1,9 +1,13 @@
-"""Name -> algorithm registry.
+"""Name -> algorithm registry (and the commit-protocol registry).
 
 The three paper algorithms are ``blocking``, ``immediate_restart`` and
 ``optimistic``; the rest are extensions (see DESIGN.md section 6).
+Commit protocols — the seam around the commit point — register here
+too, mirroring the algorithm registry: ``single_site`` (the paper's
+atomic commit point) and ``2pc`` (two-phase commit).
 """
 
+from repro.cc.base import SingleSiteCommit
 from repro.cc.blocking import BlockingCC
 from repro.cc.immediate_restart import ImmediateRestartCC
 from repro.cc.multiversion import MultiversionTimestampOrderingCC
@@ -11,6 +15,7 @@ from repro.cc.noop import NoOpCC
 from repro.cc.optimistic import OptimisticCC
 from repro.cc.static_locking import StaticLockingCC
 from repro.cc.timestamp import BasicTimestampOrderingCC
+from repro.cc.two_phase_commit import TwoPhaseCommit
 from repro.cc.wait_die import WaitDieCC
 from repro.cc.wound_wait import WoundWaitCC
 
@@ -63,4 +68,38 @@ def register_algorithm(cls):
     if not getattr(cls, "name", None):
         raise ValueError("algorithm class must define a non-empty name")
     _ALGORITHMS[cls.name] = cls
+    return cls
+
+
+# -- commit protocols ---------------------------------------------------------
+
+_COMMIT_PROTOCOLS = {
+    cls.name: cls for cls in (SingleSiteCommit, TwoPhaseCommit)
+}
+
+
+def commit_protocol_names():
+    """All registered commit-protocol names, sorted."""
+    return sorted(_COMMIT_PROTOCOLS)
+
+
+def create_commit_protocol(name):
+    """Instantiate the commit protocol registered under ``name``."""
+    try:
+        cls = _COMMIT_PROTOCOLS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown commit protocol {name!r}; "
+            f"choose from {commit_protocol_names()}"
+        ) from None
+    return cls()
+
+
+def register_commit_protocol(cls):
+    """Register a :class:`~repro.cc.base.CommitProtocol` subclass."""
+    if not getattr(cls, "name", None):
+        raise ValueError(
+            "commit protocol classes must define a non-empty 'name'"
+        )
+    _COMMIT_PROTOCOLS[cls.name] = cls
     return cls

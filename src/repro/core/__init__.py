@@ -21,7 +21,6 @@ from repro.core.params import (
     SimulationParameters,
     TransactionClass,
 )
-from repro.core.physical import PhysicalModel
 from repro.core.replay import (
     ReplayWorkload,
     TraceExhausted,
@@ -37,6 +36,7 @@ from repro.core.simulation import (
 from repro.core.store import ObjectStore, Version
 from repro.core.transaction import ACTIVE_STATES, Transaction, TxState
 from repro.core.workload import WorkloadGenerator
+from repro.resources import PhysicalModel
 
 __all__ = [
     "SimulationParameters",

@@ -30,6 +30,7 @@ from repro.cc import (
     ConcurrencyControl,
     RestartTransaction,
     create_algorithm,
+    create_commit_protocol,
 )
 from repro.core.errors import RestartLivelockError
 from repro.core.history import CommittedRecord
@@ -103,6 +104,14 @@ class SystemModel:
         self.workload = workload or self.workload_model.build_generator(
             params, self.streams
         )
+        #: The commit-protocol seam around the commit point (repro.cc):
+        #: the paper's atomic ``single_site`` point by default, or 2PC
+        #: for multi-site runs. A null protocol keeps the commit path
+        #: bit-identical to pre-seam builds (one truth test per commit).
+        self.commit_protocol = create_commit_protocol(
+            params.commit_protocol
+        ).attach(self)
+        self._protocol_active = not self.commit_protocol.is_null
         #: The physical tier, constructed from the resource-model
         #: registry (repro.resources) per params.resource_model.
         self.physical = create_resource_model(
@@ -289,6 +298,12 @@ class SystemModel:
                 )
                 yield from physical.write_request_work(tx, obj)
 
+            # The prepare window: the commit protocol collects votes
+            # (2PC round trips) before the algorithm's own commit-point
+            # processing; locks stay held until finalize_commit below.
+            if self._protocol_active:
+                yield from self.commit_protocol.prepare(tx)
+
             # The commit point: validation (a concurrency-control request).
             if physical.has_cc_work:
                 yield from physical.cc_request_work(tx)
@@ -308,6 +323,10 @@ class SystemModel:
             if cc.install_at == INSTALL_AT_PRE_COMMIT:
                 self._install_writes(tx)
             tx.state = TxState.COMMITTING
+            # The decision stage: distribute the commit outcome to the
+            # prepared participants before the deferred updates ship.
+            if self._protocol_active:
+                yield from self.commit_protocol.decide(tx)
 
             for obj in tx.install_write_set:
                 yield from physical.deferred_update(tx, obj)
@@ -384,6 +403,8 @@ class SystemModel:
     ZERO_DELAY_RESTART_LIMIT = 1000
 
     def _handle_restart(self, tx, error):
+        if self._protocol_active:
+            self.commit_protocol.abort(tx)
         self.cc.abort(tx)
         self.physical.charge_attempt(tx, useful=False)
         self.bus.emit(TX_RESTART, tx=tx, reason=error.reason)

@@ -43,11 +43,19 @@ BUFFER_POLICY_FIXED = "fixed"  # every probe hits with buffer_hit_ratio
 
 _BUFFER_POLICIES = (BUFFER_POLICY_LRU, BUFFER_POLICY_FIXED)
 
-# Object→disk placements (the ``skewed_disks`` resource model).
+# Object→disk placements (the ``skewed_disks`` resource model; the
+# ``distributed`` model reuses the same machinery for object→node
+# sharding).
 DISK_PLACEMENT_CONTIGUOUS = "contiguous"  # id runs map to one disk each
 DISK_PLACEMENT_STRIPED = "striped"        # round-robin (perfect striping)
 
 _DISK_PLACEMENTS = (DISK_PLACEMENT_CONTIGUOUS, DISK_PLACEMENT_STRIPED)
+
+# Commit protocols (the CC layer's commit-point seam). ``single_site``
+# is the paper's atomic commit point; ``2pc`` wraps it in two-phase
+# commit across the nodes a transaction touched.
+COMMIT_SINGLE_SITE = "single_site"
+COMMIT_TWO_PHASE = "2pc"
 
 
 def normalize_workload_spec(spec):
@@ -228,7 +236,28 @@ class SimulationParameters:
     buffer_hit_ratio: Optional[float] = None
     #: Object→disk placement for ``resource_model="skewed_disks"``:
     #: ``"contiguous"`` (hot data ⇒ hot spindles) or ``"striped"``.
+    #: The ``distributed`` model reuses the same placement machinery
+    #: for object→node sharding.
     disk_placement: str = DISK_PLACEMENT_CONTIGUOUS
+    #: Number of sites for ``resource_model="distributed"``: each node
+    #: gets its own CPU pool and disk set (``num_cpus``/``num_disks``
+    #: are *per-node* counts there). 1 (the default) is the paper's
+    #: single-site model; other resource models ignore this.
+    nodes: int = 1
+    #: Mean one-way delay of one cross-node message (exponential,
+    #: seeded from the ``resources.network`` stream). 0 models an
+    #: instantaneous interconnect; local messages are always free.
+    network_delay: float = 0.0
+    #: Copies of each object in the distributed model: replicas live on
+    #: the ring successors of the primary node. Reads go to the nearest
+    #: copy; commit-time writes update every copy. 1 = no replication.
+    replication_factor: int = 1
+    #: Commit protocol at the CC layer's commit point (see
+    #: :mod:`repro.cc`): ``"single_site"`` (the paper's atomic commit
+    #: point) or ``"2pc"`` (two-phase commit across the nodes the
+    #: transaction touched). Validated lazily at model construction so
+    #: plugin-registered protocols work without touching this module.
+    commit_protocol: str = COMMIT_SINGLE_SITE
 
     def __post_init__(self):
         if self.workload_mix is not None and not isinstance(
@@ -366,6 +395,24 @@ class SimulationParameters:
             raise ValueError(
                 f"disk_placement must be one of {_DISK_PLACEMENTS}, "
                 f"got {self.disk_placement!r}"
+            )
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.network_delay < 0 or math.isnan(self.network_delay):
+            raise ValueError(
+                f"network_delay must be >= 0, got {self.network_delay}"
+            )
+        if not 1 <= self.replication_factor <= self.nodes:
+            raise ValueError(
+                f"replication_factor must be in [1, nodes], got "
+                f"{self.replication_factor} with nodes={self.nodes}"
+            )
+        if not self.commit_protocol or not isinstance(
+            self.commit_protocol, str
+        ):
+            raise ValueError(
+                f"commit_protocol must be a non-empty registry name, "
+                f"got {self.commit_protocol!r}"
             )
         if self.workload_mix is not None:
             if not self.workload_mix:

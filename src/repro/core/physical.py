@@ -1,13 +1,5 @@
-"""Backward-compatibility shim for the physical queuing model.
+"""Deprecated alias: the physical tier lives in :mod:`repro.resources`."""
 
-The physical tier now lives in :mod:`repro.resources` as a pluggable,
-registry-backed layer (see DESIGN.md §13). ``PhysicalModel`` — the
-pooled-CPU + partitioned-disk model of paper Figure 2 — is the
-``classic`` resource model; this module keeps the historical import
-path and names working for existing callers and tests.
-"""
-
-from repro.resources.base import CC_PRIORITY, OBJECT_PRIORITY
-from repro.resources.classic import ClassicResourceModel as PhysicalModel
+from repro.resources import CC_PRIORITY, OBJECT_PRIORITY, PhysicalModel
 
 __all__ = ["PhysicalModel", "CC_PRIORITY", "OBJECT_PRIORITY"]

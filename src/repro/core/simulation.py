@@ -43,6 +43,12 @@ def _collect_totals(model):
     buffer = model.physical.buffer_summary()
     if buffer is not None:
         totals["buffer"] = buffer
+    # Network accounting only exists once a message actually crossed
+    # nodes — single-site runs (and one-node distributed runs) add no
+    # key, which the N=1 golden-parity suite depends on.
+    network = model.physical.network_summary()
+    if network is not None:
+        totals["network"] = network
     # Same conditional-key idiom for the workload tier: only
     # open-system models add arrival accounting and the stability
     # verdict, so closed_classic totals keep their exact byte layout.

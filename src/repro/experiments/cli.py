@@ -58,7 +58,7 @@ import difflib
 import os
 import sys
 
-from repro.cc.registry import algorithm_names
+from repro.cc.registry import algorithm_names, commit_protocol_names
 from repro.experiments.configs import FIGURE_INDEX, experiment_configs
 from repro.experiments.errors import CheckpointMismatchError
 from repro.experiments.figures import FigureBuilder
@@ -266,6 +266,22 @@ def build_parser():
             "'rate=12,process=mmpp' for open_poisson or "
             "'preset=web_sessions' for heavy_tailed "
             "(requires --workload-model)"
+        ),
+    )
+    parser.add_argument(
+        "--nodes", default=None, type=int, metavar="N",
+        help=(
+            "overlay a node count on every experiment (usually with "
+            "--resource-model distributed; default: each preset's own)"
+        ),
+    )
+    parser.add_argument(
+        "--commit-protocol", default=None,
+        metavar="PROTOCOL", dest="commit_protocol",
+        help=(
+            "overlay a commit protocol on every experiment "
+            f"(choices: {', '.join(commit_protocol_names())}; "
+            "default: each preset's own, usually single_site)"
         ),
     )
     surrogate = parser.add_argument_group(
@@ -481,6 +497,12 @@ def main(argv=None):
         parser, "--workload-model", args.workload_model,
         workload_model_names(), "workload model",
     )
+    _validate_registry_name(
+        parser, "--commit-protocol", args.commit_protocol,
+        commit_protocol_names(), "commit protocol",
+    )
+    if args.nodes is not None and args.nodes < 1:
+        parser.error("--nodes must be >= 1")
     if args.workload_spec is not None and args.workload_model is None:
         parser.error("--workload-spec requires --workload-model")
     if args.workload_spec is not None:
@@ -644,6 +666,8 @@ def _dispatch(args):
         resource_model=args.resource_model,
         workload_model=args.workload_model,
         workload_spec=args.workload_spec,
+        nodes=args.nodes,
+        commit_protocol=args.commit_protocol,
         checkpoint_dir=args.checkpoint,
         resume=args.resume,
         deadline=args.deadline,
@@ -780,6 +804,10 @@ def _run_single(args, run):
         params = params.with_changes(workload_model=args.workload_model)
     if args.workload_spec is not None:
         params = params.with_changes(workload_spec=args.workload_spec)
+    if args.nodes is not None:
+        params = params.with_changes(nodes=args.nodes)
+    if args.commit_protocol:
+        params = params.with_changes(commit_protocol=args.commit_protocol)
     sampler = sink = None
     subscribers = []
     if args.timeseries is not None:

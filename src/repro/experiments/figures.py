@@ -89,6 +89,8 @@ class FigureBuilder:
     way (the CLI's ``--resource-model``); ``workload_model`` and
     ``workload_spec`` overlay a workload-model registry name and its
     option mapping (the CLI's ``--workload-model``/``--workload-spec``);
+    ``nodes`` and ``commit_protocol`` overlay the multi-site topology
+    (the CLI's ``--nodes``/``--commit-protocol``);
     ``checkpoint_dir``
     checkpoints each experiment's sweep to
     ``<dir>/<experiment_id>.ckpt.jsonl`` (created on demand); other
@@ -101,7 +103,8 @@ class FigureBuilder:
 
     def __init__(self, run=None, mpls=None, algorithms=None, progress=None,
                  inject=None, resource_model=None, workload_model=None,
-                 workload_spec=None, checkpoint_dir=None,
+                 workload_spec=None, nodes=None, commit_protocol=None,
+                 checkpoint_dir=None,
                  **sweep_options):
         self.run = run or DEFAULT_RUN
         self.mpls = mpls
@@ -111,6 +114,8 @@ class FigureBuilder:
         self.resource_model = resource_model
         self.workload_model = workload_model
         self.workload_spec = workload_spec
+        self.nodes = nodes
+        self.commit_protocol = commit_protocol
         self.checkpoint_dir = checkpoint_dir
         self.sweep_options = sweep_options
         self._configs = experiment_configs()
@@ -145,6 +150,15 @@ class FigureBuilder:
                 changes["workload_model"] = self.workload_model
             if self.workload_spec is not None:
                 changes["workload_spec"] = self.workload_spec
+            config = replace(
+                config, params=config.params.with_changes(**changes)
+            )
+        if self.nodes is not None or self.commit_protocol is not None:
+            changes = {}
+            if self.nodes is not None:
+                changes["nodes"] = self.nodes
+            if self.commit_protocol is not None:
+                changes["commit_protocol"] = self.commit_protocol
             config = replace(
                 config, params=config.params.with_changes(**changes)
             )

@@ -351,6 +351,23 @@ class SweepCheckpoint:
     def _resource_model(self):
         return getattr(self.config.params, "resource_model", "classic")
 
+    def _topology(self):
+        """The multi-site topology this sweep binds.
+
+        Matches the legacy default for headers written before the
+        distributed tier existed: every old checkpoint was implicitly
+        a one-node run with the atomic commit point.
+        """
+        params = self.config.params
+        return {
+            "nodes": getattr(params, "nodes", 1),
+            "network_delay": getattr(params, "network_delay", 0.0),
+            "replication_factor": getattr(params, "replication_factor", 1),
+            "commit_protocol": getattr(
+                params, "commit_protocol", "single_site"
+            ),
+        }
+
     def _workload_model(self):
         """The resolved workload-model identity this sweep binds.
 
@@ -380,6 +397,7 @@ class SweepCheckpoint:
             "faults": self._faults_signature(),
             "resource_model": self._resource_model(),
             "workload_model": self._workload_model(),
+            "topology": self._topology(),
             "backend": self.backend,
             "replications": self.replications,
         }
@@ -439,6 +457,19 @@ class SweepCheckpoint:
                 f"{self.path}: checkpoint resource model "
                 f"{header.get('resource_model', 'classic')!r} does not "
                 f"match {self._resource_model()!r}"
+            )
+        # Checkpoints written before the distributed tier existed carry
+        # no key; they were all implicitly single-node, single-site.
+        legacy_topology = {
+            "nodes": 1, "network_delay": 0.0,
+            "replication_factor": 1, "commit_protocol": "single_site",
+        }
+        if header.get("topology", legacy_topology) != self._topology():
+            raise CheckpointMismatchError(
+                f"{self.path}: checkpoint topology "
+                f"{header.get('topology', legacy_topology)!r} does not "
+                f"match {self._topology()!r}; a sweep never resumes "
+                f"under a different node layout or commit protocol"
             )
         # Checkpoints written before workload models existed carry no
         # key; they were all implicitly the paper's closed model.

@@ -62,6 +62,15 @@ def workload_signature(params, seed):
         # arrival_mode="open" spelling keys the same as open_poisson.
         resolve_workload_model(params),
         params.workload_spec,
+        # Topology: transaction *content* is topology-independent, but
+        # multi-site runs must never share tapes across node counts or
+        # commit protocols — replica placement and prepare rounds feed
+        # back into restart behaviour, and a colluding tape would mask
+        # a topology-sensitive draw regression silently.
+        params.nodes,
+        params.network_delay,
+        params.replication_factor,
+        params.commit_protocol,
     )
 
 

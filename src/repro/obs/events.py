@@ -32,6 +32,12 @@ object read, ``buffer_writeback`` one deferred update written through
 at commit time. These drive the hit-ratio accounting that surfaces in
 ``SimulationResult.diagnostics`` and the sweep report.
 
+Distributed tier (the ``distributed`` resource model and the ``2pc``
+commit protocol): ``msg_send``/``msg_recv`` bracket one cross-node
+message; ``2pc_prepare``/``2pc_vote``/``2pc_decide`` record the
+two-phase commit handshake — the invariant checker enforces
+prepare/vote matching and vote quorum on exactly these kinds.
+
 Faults (:mod:`repro.faults`): ``disk_fail``/``disk_repair``,
 ``cpu_degrade``/``cpu_restore``, ``access_fault``.
 
@@ -65,6 +71,15 @@ RESOURCE_IDLE = "resource_idle"
 BUFFER_HIT = "buffer_hit"
 BUFFER_MISS = "buffer_miss"
 BUFFER_WRITEBACK = "buffer_writeback"
+
+# -- cross-node messaging (distributed resource model) ------------------------
+MSG_SEND = "msg_send"
+MSG_RECV = "msg_recv"
+
+# -- commit protocols (two-phase commit) ---------------------------------------
+TWO_PC_PREPARE = "2pc_prepare"
+TWO_PC_VOTE = "2pc_vote"
+TWO_PC_DECIDE = "2pc_decide"
 
 # -- fault injection ----------------------------------------------------------
 FAULT_DISK_FAIL = "disk_fail"
@@ -102,6 +117,18 @@ RESOURCE_KINDS = (RESOURCE_BUSY, RESOURCE_IDLE)
 #: Kinds emitted by the buffered resource model's cache.
 BUFFER_KINDS = (BUFFER_HIT, BUFFER_MISS, BUFFER_WRITEBACK)
 
+#: Kinds emitted by the distributed model's network legs: one
+#: ``msg_send``/``msg_recv`` pair brackets every cross-node message
+#: (prepare, vote and decision messages of the commit protocol
+#: included).
+MESSAGE_KINDS = (MSG_SEND, MSG_RECV)
+
+#: Kinds emitted by the two-phase commit protocol: one ``2pc_prepare``
+#: per (transaction, participant), the matching ``2pc_vote`` when the
+#: participant's acknowledgement arrives, and one ``2pc_decide`` when
+#: the coordinator commits with a full quorum of votes.
+COMMIT_PROTOCOL_KINDS = (TWO_PC_PREPARE, TWO_PC_VOTE, TWO_PC_DECIDE)
+
 #: Every kind the built-in emitters produce. Subscribers with
 #: ``kinds = None`` are registered for exactly this set.
 ALL_KINDS = frozenset(
@@ -109,5 +136,7 @@ ALL_KINDS = frozenset(
     + FAULT_KINDS
     + RESOURCE_KINDS
     + BUFFER_KINDS
+    + MESSAGE_KINDS
+    + COMMIT_PROTOCOL_KINDS
     + (CC_GRANT, SAMPLE)
 )

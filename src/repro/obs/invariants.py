@@ -31,7 +31,15 @@ points), so any run can be audited by attaching it:
   commit/abort;
 * **commit-point ordering** — a transaction commits only after exactly
   one commit point in its final attempt, and can no longer restart once
-  its writes are installed.
+  its writes are installed;
+* **message pairing** — across the network legs of a multi-site run,
+  deliveries never outnumber sends (each ``msg_recv`` pairs with an
+  earlier ``msg_send``);
+* **two-phase-commit quorum** — every vote answers an outstanding
+  prepare, a commit decision is recorded only once every prepared
+  participant has voted (its ``quorum`` equals the prepare count), and
+  a transaction neither completes with an undecided prepare window
+  open nor restarts without discarding it.
 
 Modes: ``strict`` raises :class:`InvariantViolationError` at the
 violating event; ``warn`` records every violation (capped) and lets the
@@ -48,8 +56,13 @@ to.
 
 from repro.obs.events import (
     CC_GRANT,
+    MSG_RECV,
+    MSG_SEND,
     RESOURCE_BUSY,
     RESOURCE_IDLE,
+    TWO_PC_DECIDE,
+    TWO_PC_PREPARE,
+    TWO_PC_VOTE,
     TX_ADMIT,
     TX_BLOCK,
     TX_COMMIT_POINT,
@@ -183,6 +196,11 @@ class InvariantChecker:
         self._busy = {}
         # Lock table for the exclusivity check: obj -> [writer, readers].
         self._locks = {}
+        # Network / commit-protocol state.
+        self._msgs_sent = 0
+        self._msgs_received = 0
+        self._prepares = {}  # tx id -> set of prepared participant nodes
+        self._votes = {}     # tx id -> set of participant nodes that voted
         self._model = None
 
     # -- subscriber protocol -------------------------------------------------
@@ -206,6 +224,11 @@ class InvariantChecker:
             RESOURCE_BUSY: self._on_resource_busy,
             RESOURCE_IDLE: self._on_resource_idle,
             CC_GRANT: self._on_cc_grant,
+            MSG_SEND: self._on_msg_send,
+            MSG_RECV: self._on_msg_recv,
+            TWO_PC_PREPARE: self._on_2pc_prepare,
+            TWO_PC_VOTE: self._on_2pc_vote,
+            TWO_PC_DECIDE: self._on_2pc_decide,
         }
 
     # -- violation plumbing --------------------------------------------------
@@ -367,6 +390,10 @@ class InvariantChecker:
         self._active -= 1
         self._limbo += 1
         self._commit_point.discard(tx.id)
+        # An aborting attempt discards its prepare window (the commit
+        # protocol's abort hook); the next attempt prepares afresh.
+        self._prepares.pop(tx.id, None)
+        self._votes.pop(tx.id, None)
         self._release_locks(tx.id)
         self._check_conservation(time)
 
@@ -388,6 +415,16 @@ class InvariantChecker:
                 f"tx {tx.id} committed without a commit point",
                 tx=tx.id,
             )
+        if tx.id in self._prepares:
+            self._violate(
+                time, "2pc_quorum",
+                f"tx {tx.id} completed with an undecided prepare window "
+                f"({sorted(self._prepares[tx.id])} prepared, no commit "
+                f"decision recorded)",
+                tx=tx.id, prepared=sorted(self._prepares[tx.id]),
+            )
+            del self._prepares[tx.id]
+        self._votes.pop(tx.id, None)
         # Committed transactions leave the automaton entirely, which
         # bounds the checker's memory over arbitrarily long runs.
         del self._phase[tx.id]
@@ -437,6 +474,11 @@ class InvariantChecker:
         if physical is None:
             return float("inf")
         if fields.get("resource") == "cpu":
+            node = fields.get("node")
+            if node is not None:
+                capacity_at = getattr(physical, "cpu_capacity_at", None)
+                if capacity_at is not None:
+                    return capacity_at(node)
             return getattr(physical.cpu, "capacity", float("inf"))
         disk = fields.get("disk")
         if disk is None:
@@ -452,6 +494,11 @@ class InvariantChecker:
     def _resource_key(fields):
         resource = fields.get("resource")
         disk = fields.get("disk")
+        node = fields.get("node")
+        if node is not None:
+            # Multi-site models serve CPU from per-node pools; the
+            # pairing ledger must not conflate distinct nodes' servers.
+            return (resource, "node", node)
         return resource if disk is None else (resource, disk)
 
     def _on_resource_busy(self, time, fields):
@@ -535,6 +582,73 @@ class InvariantChecker:
         for obj in empty:
             del self._locks[obj]
 
+    # -- network messages and two-phase commit -------------------------------
+
+    def _on_msg_send(self, time, fields):
+        self._tick(time)
+        self._msgs_sent += 1
+
+    def _on_msg_recv(self, time, fields):
+        self._tick(time)
+        self._msgs_received += 1
+        if self._msgs_received > self._msgs_sent:
+            self._violate(
+                time, "message_pairing",
+                f"{self._msgs_received} deliveries exceed "
+                f"{self._msgs_sent} sends",
+                received=self._msgs_received, sent=self._msgs_sent,
+            )
+
+    def _on_2pc_prepare(self, time, fields):
+        self._tick(time)
+        tx = fields["tx"]
+        node = fields["node"]
+        prepared = self._prepares.setdefault(tx.id, set())
+        if node in prepared:
+            self._violate(
+                time, "2pc_quorum",
+                f"tx {tx.id} sent a second prepare to node {node} in "
+                f"one commit attempt",
+                tx=tx.id, node=node,
+            )
+        prepared.add(node)
+
+    def _on_2pc_vote(self, time, fields):
+        self._tick(time)
+        tx = fields["tx"]
+        node = fields["node"]
+        if node not in self._prepares.get(tx.id, ()):
+            self._violate(
+                time, "2pc_quorum",
+                f"node {node} voted on tx {tx.id} without an "
+                f"outstanding prepare",
+                tx=tx.id, node=node,
+            )
+            return
+        self._votes.setdefault(tx.id, set()).add(node)
+
+    def _on_2pc_decide(self, time, fields):
+        self._tick(time)
+        tx = fields["tx"]
+        prepared = self._prepares.pop(tx.id, set())
+        votes = self._votes.pop(tx.id, set())
+        unvoted = prepared - votes
+        if unvoted:
+            self._violate(
+                time, "2pc_quorum",
+                f"commit decision for tx {tx.id} without votes from "
+                f"prepared nodes {sorted(unvoted)}",
+                tx=tx.id, unvoted=sorted(unvoted),
+            )
+        quorum = fields.get("quorum")
+        if quorum is not None and quorum != len(prepared):
+            self._violate(
+                time, "2pc_quorum",
+                f"decision quorum {quorum} for tx {tx.id} does not "
+                f"match its {len(prepared)} prepared participants",
+                tx=tx.id, quorum=quorum, prepared=sorted(prepared),
+            )
+
     # -- reporting -----------------------------------------------------------
 
     @property
@@ -549,6 +663,11 @@ class InvariantChecker:
             "violations": [v.to_dict() for v in self.violations],
             "suppressed": self.suppressed,
         }
+        if self._msgs_sent:
+            payload["messages"] = {
+                "sent": self._msgs_sent,
+                "received": self._msgs_received,
+            }
         if self._reentries:
             payload["reentries"] = self._reentries
             payload["flow"] = {

@@ -12,7 +12,10 @@ constructs whichever one ``SimulationParameters.resource_model`` names:
 * ``buffered`` — a buffer pool in front of the disks (LRU or fixed hit
   ratio): disk service only on a miss;
 * ``skewed_disks`` — explicit object→disk placement, so hot-spot
-  workloads contend on hot spindles.
+  workloads contend on hot spindles;
+* ``distributed`` — objects sharded across N nodes with per-node CPU
+  and disk pools, network legs on cross-node accesses, and optional
+  replicated reads (DESIGN.md §18).
 
 See DESIGN.md §13 for the interface contract.
 """
@@ -20,6 +23,7 @@ See DESIGN.md §13 for the interface contract.
 from repro.resources.base import CC_PRIORITY, OBJECT_PRIORITY, ResourceModel
 from repro.resources.buffered import BufferedResourceModel
 from repro.resources.classic import ClassicResourceModel
+from repro.resources.distributed import DistributedResourceModel
 from repro.resources.infinite import InfiniteResourceModel
 from repro.resources.registry import (
     create_resource_model,
@@ -28,12 +32,18 @@ from repro.resources.registry import (
 )
 from repro.resources.skewed import SkewedDisksResourceModel
 
+#: Historical name for the classic tier, kept importable because the
+#: original ``repro.core.physical`` module spelled it this way.
+PhysicalModel = ClassicResourceModel
+
 __all__ = [
     "ResourceModel",
     "ClassicResourceModel",
     "InfiniteResourceModel",
     "BufferedResourceModel",
     "SkewedDisksResourceModel",
+    "DistributedResourceModel",
+    "PhysicalModel",
     "create_resource_model",
     "register_resource_model",
     "resource_model_names",

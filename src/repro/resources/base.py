@@ -65,7 +65,7 @@ per service.
 
 from repro.des import BusyTracker, InfiniteResource, Resource
 from repro.des.events import Timeout
-from repro.obs.events import RESOURCE_BUSY, RESOURCE_IDLE
+from repro.obs.events import MSG_RECV, MSG_SEND, RESOURCE_BUSY, RESOURCE_IDLE
 
 #: CPU queue priority classes: CC requests beat object processing.
 CC_PRIORITY = 0
@@ -95,6 +95,7 @@ class ResourceModel:
         #: events; emission is guarded by its ``wants_resource`` flag so
         #: the unobserved case costs one attribute load per service.
         self.bus = bus
+        self._streams = streams
         self._disk_rng = streams.stream("physical.disk_choice")
         self._disk_picks = []
         self._disk_pick_at = 0
@@ -104,7 +105,40 @@ class ResourceModel:
         #: False when ``cc_cpu`` is zero (the paper's tables): lets the
         #: engine skip the whole cc_request_work generator per request.
         self.has_cc_work = params.cc_cpu > 0.0
+        #: Number of sites in the model's topology. Single-site models
+        #: stay at 1 (node addressing collapses to the flat indices);
+        #: the ``distributed`` model sets ``params.nodes``.
+        self.nodes = 1
+        #: Cross-node message accounting (count, summed delay). Stays
+        #: zero for single-site models — ``network_summary`` reports
+        #: None then, so their totals keep the exact pre-topology
+        #: byte layout.
+        self.messages_sent = 0
+        self.network_time = 0.0
+        self._network_rng = None
+        self._build_resources()
 
+    # -- construction hooks --------------------------------------------------
+
+    def _resource_counts(self):
+        """``(num_cpus, num_disks)`` to instantiate; None = infinite.
+
+        The default honors the parameters as-is (the paper's in-band
+        infinite-resources convention); the ``infinite`` model overrides
+        this to force infinite servers regardless of the counts.
+        """
+        return self.params.num_cpus, self.params.num_disks
+
+    def _build_resources(self):
+        """Instantiate the server pools and their utilization trackers.
+
+        The default is the paper's single-site tier: one pooled CPU
+        queue and one flat disk list. Multi-site models override this to
+        build per-node pools (keeping ``self.disks`` as the flattened
+        node-major list so disk addressing, fault targeting and the
+        utilization trackers stay uniform).
+        """
+        env = self.env
         num_cpus, num_disks = self._resource_counts()
         if num_cpus is None:
             self.cpu = InfiniteResource(env)
@@ -125,16 +159,82 @@ class ResourceModel:
         self.cpu_tracker = BusyTracker(env, "cpu", cpu_capacity)
         self.disk_tracker = BusyTracker(env, "disk", disk_capacity)
 
-    # -- construction hooks --------------------------------------------------
+    # -- node addressing -----------------------------------------------------
+    #
+    # Every model is node-addressable; single-site models are the
+    # degenerate one-node case, so placement-blind callers and the
+    # invariant checker can use the same interface everywhere.
 
-    def _resource_counts(self):
-        """``(num_cpus, num_disks)`` to instantiate; None = infinite.
+    def node_of(self, obj):
+        """The node whose shard holds ``obj`` (always 0 single-site)."""
+        return 0
 
-        The default honors the parameters as-is (the paper's in-band
-        infinite-resources convention); the ``infinite`` model overrides
-        this to force infinite servers regardless of the counts.
+    def home_node(self, tx):
+        """The node a transaction originates at (always 0 single-site)."""
+        return 0
+
+    def global_disk_index(self, node, disk_index):
+        """Flatten a (node, local disk) address into ``self.disks``."""
+        return disk_index
+
+    def cpu_capacity_at(self, node):
+        """CPU servers at one node (the invariant checker's bound)."""
+        return getattr(self.cpu, "capacity", float("inf"))
+
+    def participant_nodes(self, tx):
+        """Remote nodes a transaction touched (commit-protocol seam).
+
+        Single-site models involve no remote participants, so a 2PC
+        commit protocol composed with them degenerates to the atomic
+        commit point.
         """
-        return self.params.num_cpus, self.params.num_disks
+        return ()
+
+    def network_leg(self, tx, src, dst):
+        """One cross-node message: an explicit service stage.
+
+        A message from ``src`` to ``dst`` waits an exponential
+        ``params.network_delay`` drawn from the dedicated
+        ``resources.network`` stream (the interconnect is modeled as a
+        delay, not a queued server) and emits ``msg_send``/``msg_recv``
+        bus events around the transfer. Local messages (``src == dst``)
+        are free and draw nothing, which is what keeps one-node
+        topologies bit-identical to the single-site models: no
+        cross-node traffic can ever arise there.
+        """
+        if src == dst:
+            return
+        bus = self.bus
+        if bus is not None:
+            bus.emit(MSG_SEND, tx=tx, src=src, dst=dst)
+        self.messages_sent += 1
+        delay = self.params.network_delay
+        if delay > 0.0:
+            if self._network_rng is None:
+                self._network_rng = self._streams.stream(
+                    "resources.network"
+                )
+            delay = self._network_rng.exponential(delay)
+            self.network_time += delay
+            yield Timeout(self.env, delay)
+        if bus is not None:
+            bus.emit(MSG_RECV, tx=tx, src=src, dst=dst)
+
+    def network_summary(self):
+        """Message accounting, or None when no cross-node traffic ran.
+
+        The conditional-None convention mirrors ``buffer_summary``: a
+        run with zero messages adds no totals key, so single-site runs
+        (and one-node distributed runs, which can never send) keep
+        their exact byte layout.
+        """
+        if not self.messages_sent:
+            return None
+        return {
+            "messages": self.messages_sent,
+            "network_time": self.network_time,
+            "mean_delay": self.network_time / self.messages_sent,
+        }
 
     # -- service primitives -------------------------------------------------
     #
@@ -191,15 +291,20 @@ class ResourceModel:
             return
         yield from self.disk_service_at(tx, self._pick_disk(), amount)
 
-    def disk_service_at(self, tx, disk_index, amount):
+    def disk_service_at(self, tx, disk_index, amount, node=None):
         """Hold disk ``disk_index`` for ``amount`` seconds.
 
         The placement-aware leg: callers that map objects to specific
         spindles (``skewed_disks``) or that decide queueing per access
-        (``buffered``) pick the index themselves.
+        (``buffered``) pick the index themselves. With ``node`` given,
+        ``disk_index`` is local to that node and is flattened through
+        :meth:`global_disk_index` (the node-addressed spelling used by
+        multi-site models); None keeps the flat single-site addressing.
         """
         if amount <= 0.0:
             return
+        if node is not None:
+            disk_index = self.global_disk_index(node, disk_index)
         env = self.env
         bus = self.bus
         tracker = self.disk_tracker

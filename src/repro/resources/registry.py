@@ -8,6 +8,7 @@ names, so new resource scenarios plug in without forking the engine.
 from repro.resources.base import ResourceModel
 from repro.resources.buffered import BufferedResourceModel
 from repro.resources.classic import ClassicResourceModel
+from repro.resources.distributed import DistributedResourceModel
 from repro.resources.infinite import InfiniteResourceModel
 from repro.resources.skewed import SkewedDisksResourceModel
 
@@ -18,6 +19,7 @@ _MODELS = {
         InfiniteResourceModel,
         BufferedResourceModel,
         SkewedDisksResourceModel,
+        DistributedResourceModel,
     )
 }
 

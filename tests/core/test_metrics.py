@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import RunningAverage, SimulationParameters
 from repro.core.metrics import MetricsCollector
-from repro.core.physical import PhysicalModel
+from repro.resources import PhysicalModel
 from repro.core.transaction import Transaction
 from repro.des import Environment, StreamFactory
 

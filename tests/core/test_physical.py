@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import SimulationParameters
-from repro.core.physical import CC_PRIORITY, PhysicalModel
+from repro.resources import CC_PRIORITY, PhysicalModel
 from repro.core.transaction import Transaction
 from repro.des import Environment, InfiniteResource, Resource, StreamFactory
 

@@ -25,6 +25,8 @@ class TestConfigs:
             "exp8_skewed_disks",
             "exp9_open_poisson",
             "exp10_heavy_tailed",
+            "exp11_sharded",
+            "exp12_replica_reads",
         }
 
     def test_every_paper_figure_covered(self):

@@ -107,6 +107,6 @@ class TestInterface:
         assert isinstance(model.physical, BufferedResourceModel)
 
     def test_physical_model_shim_is_classic(self):
-        from repro.core.physical import PhysicalModel
+        from repro.resources import PhysicalModel
 
         assert PhysicalModel is ClassicResourceModel
